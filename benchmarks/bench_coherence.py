@@ -1,0 +1,39 @@
+"""Extension bench — the T1 experiment (Section 2.2 requirement).
+
+Not a numbered paper figure, but the requirement that shaped the ISA:
+"some experiments such as measuring the relaxation time of qubits (T1
+experiment)" must be expressible.  The bench runs the swept-QWAIT T1
+and Ramsey programs through the full stack and checks the fitted
+constants recover what the plant was configured with — closing the
+calibration loop end to end.
+"""
+
+import pytest
+
+from repro.experiments.coherence import (
+    format_coherence_report,
+    run_ramsey_experiment,
+    run_t1_experiment,
+)
+
+
+def test_t1_experiment(benchmark):
+    result = benchmark.pedantic(
+        run_t1_experiment,
+        kwargs={"max_wait_cycles": 8192, "points": 9},
+        rounds=1, iterations=1)
+    print()
+    print(format_coherence_report("T1", result))
+    assert result.fitted_constant_ns == pytest.approx(
+        result.configured_constant_ns, rel=0.05)
+
+
+def test_ramsey_experiment(benchmark):
+    result = benchmark.pedantic(
+        run_ramsey_experiment,
+        kwargs={"max_wait_cycles": 4096, "points": 9},
+        rounds=1, iterations=1)
+    print()
+    print(format_coherence_report("T2 (Ramsey)", result))
+    assert result.fitted_constant_ns == pytest.approx(
+        result.configured_constant_ns, rel=0.15)

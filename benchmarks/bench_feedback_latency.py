@@ -1,0 +1,30 @@
+"""E7 — Section 5: feedback latencies of the two mechanisms.
+
+Paper: "~92 ns and ~316 ns" from result-into-controller to digital
+output, for fast conditional execution and CFC respectively.  The
+reproduction scans probe programs for the shortest correct schedule on
+the simulated microarchitecture and reports the minimal latencies.
+"""
+
+import pytest
+
+from repro.experiments.cfc import (
+    PAPER_CFC_LATENCY_NS,
+    PAPER_FAST_CONDITIONAL_LATENCY_NS,
+    format_latency_report,
+    measure_feedback_latencies,
+)
+
+
+def test_feedback_latencies(benchmark):
+    result = benchmark.pedantic(measure_feedback_latencies,
+                                rounds=1, iterations=1)
+    print()
+    print(format_latency_report(result))
+    assert result.fast_conditional_ns == pytest.approx(
+        PAPER_FAST_CONDITIONAL_LATENCY_NS, abs=25)
+    assert result.cfc_ns == pytest.approx(PAPER_CFC_LATENCY_NS, abs=60)
+    # The architectural trade-off: CFC's flexibility costs ~3.4x.
+    ratio = result.cfc_ns / result.fast_conditional_ns
+    print(f"  CFC / fast-conditional ratio: {ratio:.2f} (paper: ~3.4)")
+    assert 2.5 < ratio < 4.5

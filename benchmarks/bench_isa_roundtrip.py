@@ -1,0 +1,94 @@
+"""E10 — Table 1: full instruction-set behaviour and toolchain
+throughput.
+
+Covers every mnemonic of Table 1 end to end — assemble -> 32-bit words
+-> disassemble -> reassemble fixpoint — and times the assembler and
+decoder on a realistic compiled program (an RB sequence), since the
+assembler sits on the experiment-iteration critical path the paper
+highlights ("considerable speedup in performing these experiments with
+the eQASM control paradigm").
+"""
+
+import numpy as np
+import pytest
+
+from repro.compiler.codegen import EQASMCodeGenerator
+from repro.compiler.scheduler import schedule_asap
+from repro.core import Assembler, Disassembler, seven_qubit_instantiation
+from repro.workloads.rb import rb_sequence_circuit
+
+TABLE1_PROGRAM = """
+start:
+    LDI R0, 5
+    LDI R1, -3
+    LDUI R2, 10, R0
+    ADD R3, R0, R1
+    SUB R4, R0, R1
+    AND R5, R0, R1
+    OR R6, R0, R1
+    XOR R7, R0, R1
+    NOT R8, R1
+    ST R3, R0(8)
+    LD R9, R0(8)
+    CMP R3, R9
+    FBR EQ, R10
+    BR NE, skip
+    NOP
+skip:
+    SMIS S0, {0}
+    SMIS S7, {0, 2}
+    SMIT T3, {(2, 0)}
+    QWAIT 100
+    QWAITR R0
+    0, Y S7
+    1, X90 S0 | MEASZ S7
+    CZ T3
+    FMR R11, Q0
+    STOP
+"""
+
+
+@pytest.fixture(scope="module")
+def isa():
+    return seven_qubit_instantiation()
+
+
+def test_table1_every_mnemonic_roundtrips(benchmark, isa):
+    assembler = Assembler(isa)
+    disassembler = Disassembler(isa)
+
+    def roundtrip():
+        assembled = assembler.assemble_text(TABLE1_PROGRAM)
+        text = disassembler.disassemble_text(assembled.words)
+        again = assembler.assemble_text(text)
+        return assembled, again
+
+    assembled, again = benchmark(roundtrip)
+    assert assembled.words == again.words
+    print(f"\nTable 1 program: {len(assembled.words)} words, "
+          f"round-trip fixpoint holds")
+
+
+def test_assembler_throughput_on_compiled_rb(benchmark, isa):
+    rng = np.random.default_rng(0)
+    circuit = rb_sequence_circuit(200, rng, qubit=0, num_qubits=1)
+    schedule = schedule_asap(circuit, isa.operations)
+    program = EQASMCodeGenerator(isa).generate(schedule)
+    assembler = Assembler(isa)
+
+    assembled = benchmark(assembler.assemble_program, program)
+    rate = len(assembled.words)
+    print(f"\ncompiled RB program: {rate} instruction words")
+    assert rate > 200
+
+
+def test_decoder_throughput(benchmark, isa):
+    rng = np.random.default_rng(1)
+    circuit = rb_sequence_circuit(200, rng, qubit=0, num_qubits=1)
+    schedule = schedule_asap(circuit, isa.operations)
+    program = EQASMCodeGenerator(isa).generate(schedule)
+    words = Assembler(isa).assemble_program(program).words
+    disassembler = Disassembler(isa)
+
+    decoded = benchmark(disassembler.disassemble, words)
+    assert len(decoded.instructions) == len(words)

@@ -1,0 +1,35 @@
+"""Active qubit reset — the paper's fast-conditional-execution demo.
+
+Runs the exact Fig. 4 program: prepare a superposition, measure, and
+apply ``C_X`` (an X gate conditioned on the last measurement result
+being |1>) to steer the qubit back to |0>.  With the calibrated noise
+model the reset lands at ~82.7 %, readout-limited, like the paper;
+with a noiseless model it is perfect.
+
+Run: ``python examples/active_reset.py``
+"""
+
+from repro import NoiseModel
+from repro.experiments.reset import (
+    FIG4_PROGRAM,
+    format_reset_report,
+    run_active_reset_experiment,
+)
+
+
+def main() -> None:
+    print("Fig. 4 program:")
+    print(FIG4_PROGRAM)
+
+    print("--- calibrated noise model ---")
+    noisy = run_active_reset_experiment(shots=2000, seed=5)
+    print(format_reset_report(noisy))
+
+    print("\n--- noiseless ablation (shows the readout limit) ---")
+    ideal = run_active_reset_experiment(shots=300, seed=5,
+                                        noise=NoiseModel.noiseless())
+    print(format_reset_report(ideal))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+"""T1 and Ramsey coherence sweeps — the Section 2.2 timing requirement.
+
+The T1 experiment is the paper's canonical example of why eQASM needs
+explicit timing: the experiment is literally a swept QWAIT between a
+pulse and a measurement.  This script runs the sweep on the machine and
+fits back the plant's configured T1/T2 — the control stack measuring
+its own qubits' coherence.
+
+Run: ``python examples/coherence_calibration.py``
+"""
+
+from repro.experiments.coherence import (
+    format_coherence_report,
+    run_ramsey_experiment,
+    run_t1_experiment,
+)
+from repro.workloads.coherence import t1_program
+
+
+def main() -> None:
+    print("one T1 point is just eQASM with a swept QWAIT:")
+    print(t1_program(qubit=2, wait_cycles=512).to_assembly())
+
+    t1 = run_t1_experiment(max_wait_cycles=8192, points=9)
+    print(format_coherence_report("T1", t1))
+    print()
+    ramsey = run_ramsey_experiment(max_wait_cycles=4096, points=9)
+    print(format_coherence_report("T2 (Ramsey)", ramsey))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Retargeting an eQASM program across platforms.
+
+The paper's conclusion: "by removing the timing information in the
+eQASM description, the quantum semantics of the program can be kept and
+further converted into another executable format targeting another
+hardware platform."  This script takes the Fig. 3 AllXY routine written
+for the two-qubit chip, strips its timing into a hardware-independent
+circuit, and recompiles it for the seven-qubit surface-code chip (on
+different physical qubits), then runs both binaries and compares the
+outcomes.
+
+Run: ``python examples/retargeting.py``
+"""
+
+import numpy as np
+
+from repro.core import (
+    Assembler,
+    Program,
+    extract_semantics,
+    retarget_program,
+    seven_qubit_instantiation,
+    two_qubit_instantiation,
+)
+from repro.quantum import NoiseModel, QuantumPlant
+from repro.uarch import QuMAv2
+
+FIG3 = """
+SMIS S0, {0}
+SMIS S2, {2}
+SMIS S7, {0, 2}
+QWAIT 10000
+0, Y S7
+1, X90 S0 | X S2
+1, MEASZ S7
+QWAIT 50
+"""
+
+
+def main() -> None:
+    source_isa = two_qubit_instantiation()
+    target_isa = seven_qubit_instantiation()
+    program = Program.from_text(FIG3)
+
+    circuit = extract_semantics(program, source_isa)
+    print("timing-stripped semantics (hardware independent):")
+    for op in circuit:
+        print(f"  {op}")
+
+    ported = retarget_program(program, source_isa, target_isa,
+                              qubit_map={0: 1, 2: 4},
+                              initialize_cycles=10000)
+    print("\nrecompiled for the surface-7 chip (qubits 1 and 4):")
+    print(ported.to_assembly())
+
+    plant = QuantumPlant(target_isa.topology, noise=NoiseModel(),
+                         rng=np.random.default_rng(6))
+    machine = QuMAv2(target_isa, plant)
+    machine.load(Assembler(target_isa).assemble_program(ported))
+    shots = 300
+    ones = {1: 0, 4: 0}
+    for _ in range(shots):
+        trace = machine.run_shot()
+        for qubit in (1, 4):
+            ones[qubit] += trace.last_result(qubit)
+    print(f"qubit 1 (Y then X90): P(1) = {ones[1] / shots:.2f} "
+          f"(ideal 0.5)")
+    print(f"qubit 4 (Y then X):   P(1) = {ones[4] / shots:.2f} "
+          f"(ideal 0.0 + readout error)")
+
+
+if __name__ == "__main__":
+    main()

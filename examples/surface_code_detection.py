@@ -1,0 +1,46 @@
+"""Distance-2 surface-code error detection on the seven-qubit chip.
+
+The target chip of the paper (Fig. 6) is one distance-2 surface-code
+patch: four data qubits on the corners, three ancillas in the middle.
+This script runs repeated syndrome extraction through the full stack,
+injects a physical X error on a data qubit mid-experiment, and shows
+the Z-stabilizers catching it — the paper's motivating application for
+SOMQ ("well-patterned error syndrome measurements ... presenting high
+parallelism").
+
+Run: ``python examples/surface_code_detection.py``
+"""
+
+from repro.experiments.runner import ExperimentSetup
+from repro.core import seven_qubit_instantiation
+from repro.experiments.surface_code import (
+    format_surface_code_report,
+    run_surface_code_experiment,
+)
+from repro.workloads.surface_code import surface_code_circuit
+
+
+def show_compiled_round() -> None:
+    setup = ExperimentSetup.create(isa=seven_qubit_instantiation(),
+                                   seed=0)
+    assembled = setup.compile_circuit(surface_code_circuit(rounds=1),
+                                      initialize_cycles=100)
+    print("one compiled syndrome round "
+          "(note the SOMQ masks covering both Z-ancillas):")
+    print(assembled.program.to_assembly())
+
+
+def main() -> None:
+    show_compiled_round()
+    error = ("X", 5)
+    clean = run_surface_code_experiment(rounds=3, shots=40)
+    faulty = run_surface_code_experiment(rounds=3, error=error,
+                                         error_after_round=0, shots=40)
+    print(format_surface_code_report(clean, faulty, error))
+    print("\nround 0 precedes the fault; rounds 1+ detect it on "
+          "Z-check (2) = Z0 Z5, exactly the stabilizer X_5 anticommutes "
+          "with.")
+
+
+if __name__ == "__main__":
+    main()

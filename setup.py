@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The modern build path (PEP 660 editable install) requires the ``wheel``
+package; this shim keeps ``python setup.py develop`` and offline
+``pip install -e .`` working in environments without it.
+"""
+
+from setuptools import setup
+
+setup()

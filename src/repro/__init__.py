@@ -1,0 +1,63 @@
+"""eQASM reproduction: an executable quantum instruction set architecture.
+
+Reproduction of Fu et al., "eQASM: An Executable Quantum Instruction
+Set Architecture" (HPCA 2019).  The package layers:
+
+* :mod:`repro.core` — the eQASM ISA: operations, assembly, binary
+  encoding, timing semantics;
+* :mod:`repro.topology` — quantum chip descriptions (Fig. 6);
+* :mod:`repro.quantum` — the quantum plant (density-matrix simulator
+  with the calibrated noise model);
+* :mod:`repro.uarch` — the QuMA v2 control microarchitecture (Fig. 9);
+* :mod:`repro.compiler` — the OpenQL-like backend and QuMIS baseline;
+* :mod:`repro.workloads` — the paper's benchmark circuits;
+* :mod:`repro.experiments` — runners reproducing every table/figure.
+
+Quickstart::
+
+    from repro import ExperimentSetup
+
+    setup = ExperimentSetup.create(seed=1)
+    assembled = setup.assemble_text(\"\"\"
+        SMIS S2, {2}
+        X90 S2
+        MEASZ S2
+        STOP
+    \"\"\")
+    traces = setup.run(assembled, shots=100)
+    print(sum(t.last_result(2) for t in traces) / 100)
+"""
+
+from repro.core import (
+    Assembler,
+    Disassembler,
+    EQASMInstantiation,
+    Program,
+    default_operation_set,
+    seven_qubit_instantiation,
+    two_qubit_instantiation,
+)
+from repro.experiments import ExperimentSetup
+from repro.quantum import NoiseModel, QuantumPlant
+from repro.topology import surface7, two_qubit_chip
+from repro.uarch import QuMAv2, UarchConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Assembler",
+    "Disassembler",
+    "EQASMInstantiation",
+    "ExperimentSetup",
+    "NoiseModel",
+    "Program",
+    "QuMAv2",
+    "QuantumPlant",
+    "UarchConfig",
+    "__version__",
+    "default_operation_set",
+    "seven_qubit_instantiation",
+    "surface7",
+    "two_qubit_chip",
+    "two_qubit_instantiation",
+]

@@ -1,0 +1,63 @@
+"""Compiler backend: circuit IR, scheduler, eQASM codegen, QuMIS baseline."""
+
+from repro.compiler.codegen import (
+    CodegenOptions,
+    EQASMCodeGenerator,
+    count_instructions,
+    count_point_words,
+    form_slots,
+    generate_eqasm,
+)
+from repro.compiler.configs import (
+    CHOSEN_CONFIG,
+    CHOSEN_WIDTH,
+    DSE_CONFIGS,
+    DSEConfig,
+    count_for_config,
+    effective_ops_per_bundle,
+    get_config,
+    sweep,
+)
+from repro.compiler.frontend import CQASMFrontend, parse_cqasm
+from repro.compiler.ir import Circuit, CircuitOp
+from repro.compiler.quimis import (
+    QuMISGenerator,
+    QuMISInstruction,
+    required_issue_rate,
+)
+from repro.compiler.scheduler import (
+    Schedule,
+    ScheduledOp,
+    schedule_asap,
+    schedule_serial,
+    schedule_with_interval,
+)
+
+__all__ = [
+    "CHOSEN_CONFIG",
+    "CQASMFrontend",
+    "CHOSEN_WIDTH",
+    "Circuit",
+    "CircuitOp",
+    "CodegenOptions",
+    "DSEConfig",
+    "DSE_CONFIGS",
+    "EQASMCodeGenerator",
+    "QuMISGenerator",
+    "QuMISInstruction",
+    "Schedule",
+    "ScheduledOp",
+    "count_for_config",
+    "parse_cqasm",
+    "count_instructions",
+    "count_point_words",
+    "effective_ops_per_bundle",
+    "form_slots",
+    "generate_eqasm",
+    "get_config",
+    "required_issue_rate",
+    "schedule_asap",
+    "schedule_serial",
+    "schedule_with_interval",
+    "sweep",
+]

@@ -1,0 +1,115 @@
+"""Circuit intermediate representation for the compiler backend.
+
+The quantum compiler (OpenQL in the paper's toolflow) receives kernels
+in a hardware-independent, circuit-model form.  This IR is that form:
+a named sequence of operations on qubit indices, in program order.
+Scheduling (time assignment) is a separate pass
+(:mod:`repro.compiler.scheduler`).
+
+The IR also computes the workload statistics the paper quotes for its
+three DSE benchmarks — two-qubit-gate fraction ("IM ... has < 1 %
+two-qubit gates", "SR ... has ~39 % two-qubit gates") and parallelism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.errors import AssemblyError
+from repro.core.operations import OperationKind, OperationSet
+
+
+@dataclass(frozen=True)
+class CircuitOp:
+    """One gate or measurement on explicit qubits.
+
+    ``qubits`` holds one index for single-qubit operations and an
+    ordered (source, target) pair for two-qubit operations.
+    """
+
+    name: str
+    qubits: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not 1 <= len(self.qubits) <= 2:
+            raise AssemblyError(
+                f"{self.name}: operations act on 1 or 2 qubits, "
+                f"got {self.qubits}")
+        if len(set(self.qubits)) != len(self.qubits):
+            raise AssemblyError(f"{self.name}: duplicate qubit operand")
+
+    @property
+    def is_two_qubit(self) -> bool:
+        return len(self.qubits) == 2
+
+    def __str__(self) -> str:
+        operands = ", ".join(f"q{q}" for q in self.qubits)
+        return f"{self.name} {operands}"
+
+
+@dataclass
+class Circuit:
+    """An ordered operation list over ``num_qubits`` qubits."""
+
+    name: str
+    num_qubits: int
+    operations: list[CircuitOp] = field(default_factory=list)
+
+    def add(self, name: str, *qubits: int) -> "Circuit":
+        """Append one operation (chainable)."""
+        op = CircuitOp(name=name.upper(), qubits=tuple(qubits))
+        for qubit in op.qubits:
+            if not 0 <= qubit < self.num_qubits:
+                raise AssemblyError(
+                    f"{op}: qubit outside circuit of {self.num_qubits}")
+        self.operations.append(op)
+        return self
+
+    def extend(self, other: "Circuit") -> "Circuit":
+        """Append all operations of another circuit (chainable)."""
+        if other.num_qubits > self.num_qubits:
+            raise AssemblyError("appended circuit uses more qubits")
+        self.operations.extend(other.operations)
+        return self
+
+    def __len__(self) -> int:
+        return len(self.operations)
+
+    def __iter__(self):
+        return iter(self.operations)
+
+    # ------------------------------------------------------------------
+    # Statistics (the numbers quoted in Section 4.2)
+    # ------------------------------------------------------------------
+    def gate_count(self) -> int:
+        """Total number of operations."""
+        return len(self.operations)
+
+    def two_qubit_count(self) -> int:
+        """Number of two-qubit operations."""
+        return sum(1 for op in self.operations if op.is_two_qubit)
+
+    def two_qubit_fraction(self) -> float:
+        """Fraction of operations that are two-qubit gates."""
+        if not self.operations:
+            return 0.0
+        return self.two_qubit_count() / len(self.operations)
+
+    def used_qubits(self) -> tuple[int, ...]:
+        """Qubits that appear in at least one operation."""
+        used = sorted({q for op in self.operations for q in op.qubits})
+        return tuple(used)
+
+    def validate_against(self, operations: OperationSet) -> None:
+        """Check every op is configured with the right arity."""
+        for op in self.operations:
+            definition = operations.get(op.name)
+            if definition.kind is OperationKind.TWO_QUBIT:
+                if not op.is_two_qubit:
+                    raise AssemblyError(f"{op} needs two qubits")
+            elif definition.kind in (OperationKind.SINGLE_QUBIT,
+                                     OperationKind.MEASUREMENT):
+                if op.is_two_qubit:
+                    raise AssemblyError(f"{op} takes a single qubit")
+            else:
+                raise AssemblyError(f"{op}: QNOP cannot appear in the IR")

@@ -1,0 +1,86 @@
+"""eQASM ISA core: operations, instructions, parser, assembler, timeline."""
+
+from repro.core.assembler import AssembledProgram, Assembler, Disassembler
+from repro.core.errors import (
+    AssemblyError,
+    ConfigurationError,
+    DecodingError,
+    EQASMError,
+    EncodingError,
+    InvalidAddressError,
+    OperationConflictError,
+    ParseError,
+    PlantError,
+    RuntimeFault,
+    TimingViolationError,
+    TopologyError,
+)
+from repro.core.isa import (
+    EQASMInstantiation,
+    seven_qubit_instantiation,
+    two_qubit_instantiation,
+)
+from repro.core.microcode import (
+    DeviceKind,
+    MicroOperation,
+    MicroOpRole,
+    MicrocodeUnit,
+)
+from repro.core.operations import (
+    ExecutionFlag,
+    OperationKind,
+    OperationSet,
+    QuantumOperation,
+    add_rabi_amplitude_operations,
+    default_operation_set,
+)
+from repro.core.program import Program
+from repro.core.registers import ComparisonFlag
+from repro.core.retarget import extract_semantics, retarget_program
+from repro.core.timeline import (
+    TimedOperation,
+    Timeline,
+    TimelineBuilder,
+    TimingPoint,
+    build_timeline,
+)
+
+__all__ = [
+    "AssembledProgram",
+    "Assembler",
+    "AssemblyError",
+    "ComparisonFlag",
+    "ConfigurationError",
+    "DecodingError",
+    "DeviceKind",
+    "Disassembler",
+    "EQASMError",
+    "EQASMInstantiation",
+    "EncodingError",
+    "ExecutionFlag",
+    "InvalidAddressError",
+    "MicroOperation",
+    "MicroOpRole",
+    "MicrocodeUnit",
+    "OperationConflictError",
+    "OperationKind",
+    "OperationSet",
+    "ParseError",
+    "PlantError",
+    "Program",
+    "QuantumOperation",
+    "RuntimeFault",
+    "TimedOperation",
+    "Timeline",
+    "TimelineBuilder",
+    "TimingPoint",
+    "TimingViolationError",
+    "TopologyError",
+    "add_rabi_amplitude_operations",
+    "extract_semantics",
+    "retarget_program",
+    "build_timeline",
+    "default_operation_set",
+    "seven_qubit_instantiation",
+    "two_qubit_instantiation",
+]

@@ -1,0 +1,256 @@
+"""The eQASM assembler: text -> validated, encoded binary.
+
+Pipeline (Section 3.4.2 and 4.2):
+
+1. parse the listing into a :class:`~repro.core.program.Program`;
+2. semantic validation against the instantiation — operations are
+   configured, registers in range, SMIS/SMIT masks legal on the chip
+   topology (two selected edges sharing a qubit are rejected, per
+   Section 4.3), PI values within the PI field;
+3. split bundles wider than the VLIW width into consecutive bundle
+   instructions with PI = 0, filling the last word with QNOPs;
+4. hoist over-wide PIs into explicit QWAITs (a PI that does not fit the
+   3-bit field becomes ``QWAIT pi`` + bundle with PI 0);
+5. resolve BR labels to instruction offsets (after splitting, since
+   splitting changes addresses);
+6. encode each instruction to a 32-bit word.
+
+The inverse direction — :class:`Disassembler` — reconstructs assembly
+text from words.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.encoding import InstructionDecoder, InstructionEncoder
+from repro.core.errors import AssemblyError
+from repro.core.instructions import (
+    Br,
+    Bundle,
+    BundleOperation,
+    Fbr,
+    Fmr,
+    Instruction,
+    Ld,
+    Ldi,
+    Ldui,
+    LogicalOp,
+    ArithOp,
+    Cmp,
+    Not,
+    QWait,
+    QWaitR,
+    SMIS,
+    SMIT,
+    St,
+)
+from repro.core.isa import EQASMInstantiation
+from repro.core.operations import OperationKind
+from repro.core.program import Program
+
+
+@dataclass
+class AssembledProgram:
+    """Assembler output: the final program and its binary image."""
+
+    program: Program
+    words: list[int]
+    source: str = ""
+
+    def __len__(self) -> int:
+        return len(self.words)
+
+    def word_bytes(self) -> bytes:
+        """Little-endian byte image of the instruction memory."""
+        return b"".join(word.to_bytes(4, "little") for word in self.words)
+
+
+class Assembler:
+    """Assembles eQASM text or programs for one instantiation."""
+
+    def __init__(self, isa: EQASMInstantiation):
+        self.isa = isa
+        self._encoder = InstructionEncoder(isa)
+
+    # ------------------------------------------------------------------
+    # Public entry points
+    # ------------------------------------------------------------------
+    def assemble_text(self, text: str) -> AssembledProgram:
+        """Assemble a complete listing."""
+        program = Program.from_text(text)
+        assembled = self.assemble_program(program)
+        assembled.source = text
+        return assembled
+
+    def assemble_program(self, program: Program) -> AssembledProgram:
+        """Assemble an already-parsed program."""
+        self.validate(program)
+        split = self.split_bundles(program)
+        resolved = split.resolve_labels()
+        self._validate_branch_offsets(resolved)
+        words = [self._encoder.encode(ins) for ins in resolved.instructions]
+        return AssembledProgram(program=resolved, words=words)
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def validate(self, program: Program) -> None:
+        """Semantic validation of every instruction (pre-splitting)."""
+        for index, instruction in enumerate(program.instructions):
+            try:
+                self._validate_instruction(instruction)
+            except AssemblyError as error:
+                raise AssemblyError(
+                    f"instruction {index} "
+                    f"({instruction.to_assembly()}): {error}")
+        for label, target in program.labels.items():
+            if not 0 <= target <= len(program.instructions):
+                raise AssemblyError(f"label {label!r} out of range")
+
+    def _validate_gpr(self, name: str, address: int) -> None:
+        if not 0 <= address < self.isa.num_gprs:
+            raise AssemblyError(f"{name} R{address} out of range")
+
+    def _validate_instruction(self, ins: Instruction) -> None:
+        isa = self.isa
+        if isinstance(ins, (Cmp,)):
+            self._validate_gpr("Rs", ins.rs)
+            self._validate_gpr("Rt", ins.rt)
+        elif isinstance(ins, Fbr):
+            self._validate_gpr("Rd", ins.rd)
+        elif isinstance(ins, Ldi):
+            self._validate_gpr("Rd", ins.rd)
+            if not -(1 << 19) <= ins.imm < (1 << 19):
+                raise AssemblyError(f"LDI immediate {ins.imm} exceeds 20 bits")
+        elif isinstance(ins, Ldui):
+            self._validate_gpr("Rd", ins.rd)
+            self._validate_gpr("Rs", ins.rs)
+            if not 0 <= ins.imm < (1 << 15):
+                raise AssemblyError(
+                    f"LDUI immediate {ins.imm} exceeds 15 bits")
+        elif isinstance(ins, Ld):
+            self._validate_gpr("Rd", ins.rd)
+            self._validate_gpr("Rt", ins.rt)
+        elif isinstance(ins, St):
+            self._validate_gpr("Rs", ins.rs)
+            self._validate_gpr("Rt", ins.rt)
+        elif isinstance(ins, Fmr):
+            self._validate_gpr("Rd", ins.rd)
+            if ins.qubit not in isa.topology.qubits:
+                raise AssemblyError(
+                    f"FMR references qubit {ins.qubit} not on chip")
+        elif isinstance(ins, (LogicalOp, ArithOp)):
+            self._validate_gpr("Rd", ins.rd)
+            self._validate_gpr("Rs", ins.rs)
+            self._validate_gpr("Rt", ins.rt)
+        elif isinstance(ins, Not):
+            self._validate_gpr("Rd", ins.rd)
+            self._validate_gpr("Rt", ins.rt)
+        elif isinstance(ins, QWait):
+            if ins.cycles > isa.max_qwait:
+                raise AssemblyError(
+                    f"QWAIT {ins.cycles} exceeds the "
+                    f"{isa.qwait_immediate_width}-bit immediate")
+        elif isinstance(ins, QWaitR):
+            self._validate_gpr("Rs", ins.rs)
+        elif isinstance(ins, SMIS):
+            if not 0 <= ins.sd < isa.num_single_qubit_target_registers:
+                raise AssemblyError(f"S{ins.sd} out of range")
+            isa.qubit_mask(ins.qubits)  # raises for off-chip qubits
+        elif isinstance(ins, SMIT):
+            if not 0 <= ins.td < isa.num_two_qubit_target_registers:
+                raise AssemblyError(f"T{ins.td} out of range")
+            mask = isa.pair_mask(ins.pairs)  # raises for illegal pairs
+            isa.topology.validate_pair_mask(mask)
+        elif isinstance(ins, Bundle):
+            self._validate_bundle(ins)
+
+    def _validate_bundle(self, bundle: Bundle) -> None:
+        isa = self.isa
+        for slot in bundle.operations:
+            operation = isa.operations.get(slot.name)  # raises if unknown
+            if operation.kind is OperationKind.NOP:
+                if slot.register is not None:
+                    raise AssemblyError("QNOP takes no operand")
+                continue
+            if slot.register is None:
+                raise AssemblyError(
+                    f"operation {slot.name} needs a target register")
+            kind, index = slot.register
+            expected = "T" if operation.uses_two_qubit_target else "S"
+            if kind != expected:
+                raise AssemblyError(
+                    f"operation {slot.name} targets {expected} registers, "
+                    f"got {kind}{index}")
+            limit = (isa.num_two_qubit_target_registers if expected == "T"
+                     else isa.num_single_qubit_target_registers)
+            if not 0 <= index < limit:
+                raise AssemblyError(f"{kind}{index} out of range")
+
+    def _validate_branch_offsets(self, program: Program) -> None:
+        for index, ins in enumerate(program.instructions):
+            if isinstance(ins, Br):
+                if isinstance(ins.target, str):
+                    raise AssemblyError(f"unresolved label {ins.target!r}")
+                destination = index + ins.target
+                if not 0 <= destination <= len(program.instructions):
+                    raise AssemblyError(
+                        f"BR at {index} jumps to {destination}, outside "
+                        f"the program")
+
+    # ------------------------------------------------------------------
+    # Bundle splitting (Section 3.4.2)
+    # ------------------------------------------------------------------
+    def split_bundles(self, program: Program) -> Program:
+        """Break wide bundles into VLIW-width instruction words.
+
+        A bundle of n > w operations becomes ceil(n / w) consecutive
+        bundle instructions; the first keeps the PI, continuations use
+        PI = 0 so all operations share one timing point.  PIs too large
+        for the PI field are hoisted into an explicit QWAIT.
+        """
+        isa = self.isa
+        new_instructions: list[Instruction] = []
+        index_map: dict[int, int] = {}
+        for old_index, ins in enumerate(program.instructions):
+            index_map[old_index] = len(new_instructions)
+            if not isinstance(ins, Bundle):
+                new_instructions.append(ins)
+                continue
+            pi = ins.pi
+            if pi > isa.max_pi:
+                new_instructions.append(QWait(cycles=pi))
+                pi = 0
+            chunks = [ins.operations[i:i + isa.vliw_width]
+                      for i in range(0, len(ins.operations), isa.vliw_width)]
+            for chunk_index, chunk in enumerate(chunks):
+                chunk_ops = list(chunk)
+                while len(chunk_ops) < isa.vliw_width:
+                    chunk_ops.append(BundleOperation(
+                        name=isa.operations.QNOP_NAME, register=None))
+                new_instructions.append(
+                    Bundle(operations=tuple(chunk_ops),
+                           pi=pi if chunk_index == 0 else 0,
+                           explicit_pi=True))
+        index_map[len(program.instructions)] = len(new_instructions)
+        new_labels = {label: index_map[target]
+                      for label, target in program.labels.items()}
+        return Program(instructions=new_instructions, labels=new_labels)
+
+
+class Disassembler:
+    """Turns 32-bit words back into a program and assembly text."""
+
+    def __init__(self, isa: EQASMInstantiation):
+        self.isa = isa
+        self._decoder = InstructionDecoder(isa)
+
+    def disassemble(self, words: list[int]) -> Program:
+        """Decode a word list into a program (no label recovery)."""
+        instructions = [self._decoder.decode(word) for word in words]
+        return Program(instructions=instructions)
+
+    def disassemble_text(self, words: list[int]) -> str:
+        """Decode a word list into assembly text."""
+        return self.disassemble(words).to_assembly()

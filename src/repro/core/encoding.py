@@ -1,0 +1,371 @@
+"""Binary instruction encoding/decoding for the 32-bit instantiation.
+
+Quantum-instruction formats follow Fig. 8 exactly (bit 31 first):
+
+====================  =================================================
+SMIS                  ``0 | opcode(6) | Sd(5) | pad(13) | mask(7)``
+SMIT                  ``0 | opcode(6) | Td(5) | pad(4)  | mask(16)``
+QWAIT                 ``0 | opcode(6) | pad(5) | imm(20)``
+QWAITR                ``0 | opcode(6) | pad(5) | Rs(5) | pad(15)``
+bundle                ``1 | q_op0(9) | st0(5) | q_op1(9) | st1(5) | PI(3)``
+====================  =================================================
+
+The paper leaves classical formats unspecified ("for brevity, we only
+present the format of quantum instructions"); our instantiation uses a
+MIPS-like layout inside the remaining 25 bits, documented per opcode in
+:data:`CLASSICAL_OPCODES` and the field tables below:
+
+* R-type (CMP/AND/OR/XOR/ADD/SUB/NOT): ``rd@24..20 rs@19..15 rt@14..10``
+  (CMP leaves rd = 0; NOT leaves rs = 0);
+* LDI: ``rd@24..20 imm20@19..0`` (signed);
+* LDUI: ``rd@24..20 rs@19..15 imm15@14..0``;
+* LD/ST: ``rd|rs@24..20 rt@19..15 imm15@14..0`` (signed);
+* BR: ``cond@24..21 offset21@20..0`` (signed, instructions);
+* FBR: ``cond@24..21 rd@20..16``;
+* FMR: ``rd@24..20 qi@19..15``.
+
+Every encoder validates field ranges and raises
+:class:`~repro.core.errors.EncodingError` on overflow; decode is the
+exact inverse (round-trip tested property-style in the test suite).
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import DecodingError, EncodingError
+from repro.core.instructions import (
+    ArithOp,
+    Br,
+    Bundle,
+    BundleOperation,
+    Cmp,
+    Fbr,
+    Fmr,
+    Instruction,
+    Ld,
+    Ldi,
+    Ldui,
+    LogicalOp,
+    Nop,
+    Not,
+    QWait,
+    QWaitR,
+    SMIS,
+    SMIT,
+    St,
+    Stop,
+)
+from repro.core.isa import EQASMInstantiation
+from repro.core.operations import OperationKind
+from repro.core.registers import ComparisonFlag
+
+#: Single-format opcodes (6-bit field at bits 30..25).
+CLASSICAL_OPCODES = {
+    "NOP": 0,
+    "STOP": 1,
+    "CMP": 2,
+    "BR": 3,
+    "FBR": 4,
+    "LDI": 5,
+    "LDUI": 6,
+    "LD": 7,
+    "ST": 8,
+    "FMR": 9,
+    "AND": 10,
+    "OR": 11,
+    "XOR": 12,
+    "NOT": 13,
+    "ADD": 14,
+    "SUB": 15,
+    "SMIS": 16,
+    "SMIT": 17,
+    "QWAIT": 18,
+    "QWAITR": 19,
+}
+
+_OPCODE_TO_MNEMONIC = {value: key for key, value in CLASSICAL_OPCODES.items()}
+
+_BUNDLE_FLAG_BIT = 31
+_OPCODE_SHIFT = 25
+
+
+def _check_field(name: str, value: int, width: int) -> int:
+    """Validate an unsigned field value against its width."""
+    if not 0 <= value < (1 << width):
+        raise EncodingError(
+            f"{name} value {value} does not fit in {width} bits")
+    return value
+
+
+def _check_signed_field(name: str, value: int, width: int) -> int:
+    """Validate and two's-complement encode a signed field value."""
+    low = -(1 << (width - 1))
+    high = (1 << (width - 1)) - 1
+    if not low <= value <= high:
+        raise EncodingError(
+            f"{name} value {value} outside signed {width}-bit range "
+            f"[{low}, {high}]")
+    return value & ((1 << width) - 1)
+
+
+def _sign_extend(value: int, width: int) -> int:
+    """Decode a two's-complement field of the given width."""
+    if value & (1 << (width - 1)):
+        return value - (1 << width)
+    return value
+
+
+class InstructionEncoder:
+    """Encodes instruction objects into 32-bit words for an instantiation."""
+
+    def __init__(self, isa: EQASMInstantiation):
+        self.isa = isa
+
+    # ------------------------------------------------------------------
+    # Top-level encode
+    # ------------------------------------------------------------------
+    def encode(self, instruction: Instruction) -> int:
+        """Encode one instruction into a 32-bit word.
+
+        Bundles must already fit the VLIW width (the assembler splits
+        longer ones) and BR targets must be resolved offsets.
+        """
+        if isinstance(instruction, Bundle):
+            return self._encode_bundle(instruction)
+        return self._encode_single(instruction)
+
+    def _single_word(self, mnemonic: str, body: int) -> int:
+        opcode = CLASSICAL_OPCODES[mnemonic]
+        if body >= (1 << _OPCODE_SHIFT):
+            raise EncodingError(f"{mnemonic} body overflows 25 bits")
+        return (opcode << _OPCODE_SHIFT) | body
+
+    def _encode_single(self, ins: Instruction) -> int:
+        isa = self.isa
+        if isinstance(ins, Nop):
+            return self._single_word("NOP", 0)
+        if isinstance(ins, Stop):
+            return self._single_word("STOP", 0)
+        if isinstance(ins, Cmp):
+            body = (_check_field("Rs", ins.rs, 5) << 15) | \
+                   (_check_field("Rt", ins.rt, 5) << 10)
+            return self._single_word("CMP", body)
+        if isinstance(ins, Br):
+            if isinstance(ins.target, str):
+                raise EncodingError(
+                    f"BR target label {ins.target!r} not resolved")
+            body = (_check_field("cond", int(ins.condition), 4) << 21) | \
+                   _check_signed_field("offset", ins.target, 21)
+            return self._single_word("BR", body)
+        if isinstance(ins, Fbr):
+            body = (_check_field("cond", int(ins.condition), 4) << 21) | \
+                   (_check_field("Rd", ins.rd, 5) << 16)
+            return self._single_word("FBR", body)
+        if isinstance(ins, Ldi):
+            body = (_check_field("Rd", ins.rd, 5) << 20) | \
+                   _check_signed_field("imm", ins.imm, 20)
+            return self._single_word("LDI", body)
+        if isinstance(ins, Ldui):
+            body = (_check_field("Rd", ins.rd, 5) << 20) | \
+                   (_check_field("Rs", ins.rs, 5) << 15) | \
+                   _check_field("imm", ins.imm, 15)
+            return self._single_word("LDUI", body)
+        if isinstance(ins, Ld):
+            body = (_check_field("Rd", ins.rd, 5) << 20) | \
+                   (_check_field("Rt", ins.rt, 5) << 15) | \
+                   _check_signed_field("imm", ins.imm, 15)
+            return self._single_word("LD", body)
+        if isinstance(ins, St):
+            body = (_check_field("Rs", ins.rs, 5) << 20) | \
+                   (_check_field("Rt", ins.rt, 5) << 15) | \
+                   _check_signed_field("imm", ins.imm, 15)
+            return self._single_word("ST", body)
+        if isinstance(ins, Fmr):
+            body = (_check_field("Rd", ins.rd, 5) << 20) | \
+                   (_check_field("Qi", ins.qubit, 5) << 15)
+            return self._single_word("FMR", body)
+        if isinstance(ins, LogicalOp):
+            body = (_check_field("Rd", ins.rd, 5) << 20) | \
+                   (_check_field("Rs", ins.rs, 5) << 15) | \
+                   (_check_field("Rt", ins.rt, 5) << 10)
+            return self._single_word(ins.mnemonic_name, body)
+        if isinstance(ins, Not):
+            body = (_check_field("Rd", ins.rd, 5) << 20) | \
+                   (_check_field("Rt", ins.rt, 5) << 10)
+            return self._single_word("NOT", body)
+        if isinstance(ins, ArithOp):
+            body = (_check_field("Rd", ins.rd, 5) << 20) | \
+                   (_check_field("Rs", ins.rs, 5) << 15) | \
+                   (_check_field("Rt", ins.rt, 5) << 10)
+            return self._single_word(ins.mnemonic_name, body)
+        if isinstance(ins, SMIS):
+            if ins.sd >= isa.num_single_qubit_target_registers:
+                raise EncodingError(f"S{ins.sd} out of range")
+            mask = isa.qubit_mask(ins.qubits)
+            body = (_check_field("Sd", ins.sd, 5) << 20) | \
+                   _check_field("mask", mask, isa.qubit_mask_field_width)
+            return self._single_word("SMIS", body)
+        if isinstance(ins, SMIT):
+            if ins.td >= isa.num_two_qubit_target_registers:
+                raise EncodingError(f"T{ins.td} out of range")
+            mask = isa.pair_mask(ins.pairs)
+            body = (_check_field("Td", ins.td, 5) << 20) | \
+                   _check_field("mask", mask, isa.pair_mask_field_width)
+            return self._single_word("SMIT", body)
+        if isinstance(ins, QWait):
+            body = _check_field("imm", ins.cycles,
+                                isa.qwait_immediate_width)
+            return self._single_word("QWAIT", body)
+        if isinstance(ins, QWaitR):
+            body = _check_field("Rs", ins.rs, 5) << 15
+            return self._single_word("QWAITR", body)
+        raise EncodingError(f"cannot encode {type(ins).__name__}")
+
+    def _encode_bundle(self, bundle: Bundle) -> int:
+        isa = self.isa
+        if len(bundle.operations) > isa.vliw_width:
+            raise EncodingError(
+                f"bundle holds {len(bundle.operations)} operations; the "
+                f"VLIW width is {isa.vliw_width} (assembler must split)")
+        if isa.vliw_width != 2:
+            raise EncodingError(
+                "the 32-bit bundle word encodes exactly 2 VLIW slots")
+        _check_field("PI", bundle.pi, isa.pi_width)
+        slots = list(bundle.operations)
+        while len(slots) < isa.vliw_width:
+            slots.append(BundleOperation(name=isa.operations.QNOP_NAME,
+                                         register=None))
+        encoded_slots = [self._encode_slot(slot) for slot in slots]
+        word = 1 << _BUNDLE_FLAG_BIT
+        word |= encoded_slots[0][0] << 22
+        word |= encoded_slots[0][1] << 17
+        word |= encoded_slots[1][0] << 8
+        word |= encoded_slots[1][1] << 3
+        word |= bundle.pi
+        return word
+
+    def _encode_slot(self, slot: BundleOperation) -> tuple[int, int]:
+        """Encode one VLIW slot to (q_opcode, target_register_index)."""
+        isa = self.isa
+        operation = isa.operations.get(slot.name)
+        opcode = isa.operations.opcode(slot.name)
+        _check_field("q opcode", opcode, isa.q_opcode_width)
+        if operation.kind is OperationKind.NOP:
+            if slot.register is not None:
+                raise EncodingError("QNOP takes no target register")
+            return opcode, 0
+        if slot.register is None:
+            raise EncodingError(f"operation {slot.name} needs a target")
+        kind, index = slot.register
+        expected = "T" if operation.uses_two_qubit_target else "S"
+        if kind != expected:
+            raise EncodingError(
+                f"operation {slot.name} needs a {expected} register, "
+                f"got {kind}{index}")
+        limit = (isa.num_two_qubit_target_registers if expected == "T"
+                 else isa.num_single_qubit_target_registers)
+        if index >= limit:
+            raise EncodingError(f"{kind}{index} out of range")
+        _check_field("target register", index,
+                     isa.target_register_address_width)
+        return opcode, index
+
+
+class InstructionDecoder:
+    """Decodes 32-bit words back into instruction objects."""
+
+    def __init__(self, isa: EQASMInstantiation):
+        self.isa = isa
+
+    def decode(self, word: int) -> Instruction:
+        """Decode one 32-bit word."""
+        if not 0 <= word < (1 << 32):
+            raise DecodingError(f"word {word:#x} is not 32 bits")
+        if (word >> _BUNDLE_FLAG_BIT) & 1:
+            return self._decode_bundle(word)
+        return self._decode_single(word)
+
+    @staticmethod
+    def _decode_condition(word: int) -> ComparisonFlag:
+        value = (word >> 21) & 0xF
+        try:
+            return ComparisonFlag(value)
+        except ValueError:
+            raise DecodingError(f"invalid comparison-flag encoding {value}")
+
+    def _decode_single(self, word: int) -> Instruction:
+        isa = self.isa
+        opcode = (word >> _OPCODE_SHIFT) & 0x3F
+        mnemonic = _OPCODE_TO_MNEMONIC.get(opcode)
+        if mnemonic is None:
+            raise DecodingError(f"unknown single-format opcode {opcode}")
+        rd = (word >> 20) & 0x1F
+        rs = (word >> 15) & 0x1F
+        rt = (word >> 10) & 0x1F
+        if mnemonic == "NOP":
+            return Nop()
+        if mnemonic == "STOP":
+            return Stop()
+        if mnemonic == "CMP":
+            return Cmp(rs=rs, rt=rt)
+        if mnemonic == "BR":
+            condition = self._decode_condition(word)
+            offset = _sign_extend(word & 0x1FFFFF, 21)
+            return Br(condition=condition, target=offset)
+        if mnemonic == "FBR":
+            condition = self._decode_condition(word)
+            return Fbr(condition=condition, rd=(word >> 16) & 0x1F)
+        if mnemonic == "LDI":
+            return Ldi(rd=rd, imm=_sign_extend(word & 0xFFFFF, 20))
+        if mnemonic == "LDUI":
+            return Ldui(rd=rd, rs=rs, imm=word & 0x7FFF)
+        if mnemonic == "LD":
+            return Ld(rd=rd, rt=rs, imm=_sign_extend(word & 0x7FFF, 15))
+        if mnemonic == "ST":
+            return St(rs=rd, rt=rs, imm=_sign_extend(word & 0x7FFF, 15))
+        if mnemonic == "FMR":
+            return Fmr(rd=rd, qubit=rs)
+        if mnemonic in ("AND", "OR", "XOR"):
+            return LogicalOp(mnemonic_name=mnemonic, rd=rd, rs=rs, rt=rt)
+        if mnemonic == "NOT":
+            return Not(rd=rd, rt=rt)
+        if mnemonic in ("ADD", "SUB"):
+            return ArithOp(mnemonic_name=mnemonic, rd=rd, rs=rs, rt=rt)
+        if mnemonic == "SMIS":
+            mask = word & ((1 << isa.qubit_mask_field_width) - 1)
+            qubits = isa.qubits_from_mask(mask)
+            if not qubits:
+                raise DecodingError("SMIS with empty mask")
+            return SMIS(sd=rd, qubits=frozenset(qubits))
+        if mnemonic == "SMIT":
+            mask = word & ((1 << isa.pair_mask_field_width) - 1)
+            pairs = isa.pairs_from_mask(mask)
+            if not pairs:
+                raise DecodingError("SMIT with empty mask")
+            return SMIT(td=rd, pairs=frozenset(pairs))
+        if mnemonic == "QWAIT":
+            return QWait(
+                cycles=word & ((1 << isa.qwait_immediate_width) - 1))
+        if mnemonic == "QWAITR":
+            return QWaitR(rs=rs)
+        raise DecodingError(f"unhandled mnemonic {mnemonic}")
+
+    def _decode_bundle(self, word: int) -> Bundle:
+        isa = self.isa
+        pi = word & ((1 << isa.pi_width) - 1)
+        raw_slots = [
+            ((word >> 22) & 0x1FF, (word >> 17) & 0x1F),
+            ((word >> 8) & 0x1FF, (word >> 3) & 0x1F),
+        ]
+        operations = []
+        for opcode, register_index in raw_slots:
+            name = isa.operations.name_for_opcode(opcode)
+            operation = isa.operations.get(name)
+            if operation.kind is OperationKind.NOP:
+                operations.append(BundleOperation(name=name, register=None))
+                continue
+            kind = "T" if operation.uses_two_qubit_target else "S"
+            operations.append(
+                BundleOperation(name=name, register=(kind, register_index)))
+        # Trailing QNOPs are physical filler; keep them so that
+        # encode(decode(w)) == w exactly.
+        return Bundle(operations=tuple(operations), pi=pi, explicit_pi=True)

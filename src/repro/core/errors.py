@@ -1,0 +1,82 @@
+"""Exception hierarchy for the eQASM reproduction.
+
+Every error raised by the library derives from :class:`EQASMError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish assembly-time, encoding-time, and run-time
+faults.
+"""
+
+from __future__ import annotations
+
+
+class EQASMError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ParseError(EQASMError):
+    """Raised when assembly text cannot be parsed.
+
+    Carries the offending line number (1-based) and the raw line so error
+    messages can point at the source.
+    """
+
+    def __init__(self, message: str, line_number: int | None = None,
+                 line: str | None = None):
+        location = f" (line {line_number}: {line!r})" if line_number else ""
+        super().__init__(f"{message}{location}")
+        self.line_number = line_number
+        self.line = line
+
+
+class AssemblyError(EQASMError):
+    """Raised when a parsed program fails semantic validation.
+
+    Examples: an undefined label, a target register address out of range,
+    or a two-qubit target register selecting two edges that share a qubit
+    (invalid per Section 4.3 of the paper).
+    """
+
+
+class EncodingError(EQASMError):
+    """Raised when an instruction cannot be encoded into the binary format
+    of the current instantiation (e.g. an immediate exceeding its field)."""
+
+
+class DecodingError(EQASMError):
+    """Raised when a 32-bit word does not decode to a valid instruction."""
+
+
+class ConfigurationError(EQASMError):
+    """Raised for inconsistent compile-time configuration, e.g. a quantum
+    operation name bound to two different opcodes, or a microcode entry
+    referencing an unknown micro-operation."""
+
+
+class RuntimeFault(EQASMError):
+    """Base class for faults detected while the microarchitecture runs."""
+
+
+class OperationConflictError(RuntimeFault):
+    """Two VLIW lanes (or two bundle instructions at the same timing point)
+    emitted a micro-operation for the same qubit — the quantum processor
+    stops (Section 4.3)."""
+
+
+class TimingViolationError(RuntimeFault):
+    """The timing controller reached a timing point before the reserve
+    phase produced it: the quantum-operation issue rate Rreq exceeded
+    Rallowed (Section 1.2)."""
+
+
+class InvalidAddressError(RuntimeFault):
+    """A register / qubit / memory address outside the architectural
+    range was accessed at run time."""
+
+
+class PlantError(EQASMError):
+    """Raised by the quantum plant for physically impossible requests,
+    e.g. a two-qubit unitary applied to a single qubit."""
+
+
+class TopologyError(EQASMError):
+    """Raised for inconsistent quantum-chip topology definitions."""

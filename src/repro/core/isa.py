@@ -1,0 +1,152 @@
+"""eQASM instantiation: the binding of the assembly framework to a
+concrete binary format, chip, and operation configuration.
+
+Section 2.4: "the definition of eQASM focuses on the assembly level ...
+The binary format is defined during the instantiation of eQASM targeting
+a concrete control electronic setup and quantum chip."  This class holds
+every instantiation-time parameter; Section 4.2's 32-bit instantiation
+for the seven-qubit chip is :func:`seven_qubit_instantiation`, and the
+two-qubit experiment setup of Section 5 is :func:`two_qubit_instantiation`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.errors import ConfigurationError
+from repro.core.operations import OperationSet, default_operation_set
+from repro.topology.chip import QuantumChipTopology
+from repro.topology.library import surface7, two_qubit_chip
+
+
+@dataclass
+class EQASMInstantiation:
+    """All parameters fixed when eQASM is instantiated for a platform.
+
+    The defaults implement the paper's chosen configuration
+    (Section 4.2): 32-bit words, VLIW width 2, a 3-bit PI field
+    (Config 9: ts3, wPI = 3, SOMQ), 32 S and 32 T registers with mask
+    encoding, 20-bit QWAIT immediates, 9-bit q opcodes, and a 20 ns
+    cycle.
+    """
+
+    name: str
+    topology: QuantumChipTopology
+    operations: OperationSet
+    instruction_width: int = 32
+    vliw_width: int = 2
+    pi_width: int = 3
+    num_gprs: int = 32
+    num_single_qubit_target_registers: int = 32
+    num_two_qubit_target_registers: int = 32
+    qubit_mask_field_width: int = 7
+    pair_mask_field_width: int = 16
+    qwait_immediate_width: int = 20
+    q_opcode_width: int = 9
+    target_register_address_width: int = 5
+    cycle_time_ns: float = 20.0
+    measurement_cycles: int = 15
+
+    def __post_init__(self) -> None:
+        if self.vliw_width < 1:
+            raise ConfigurationError("VLIW width must be at least 1")
+        if self.topology.qubit_mask_width > self.qubit_mask_field_width:
+            raise ConfigurationError(
+                f"chip {self.topology.name} needs a "
+                f"{self.topology.qubit_mask_width}-bit qubit mask; the "
+                f"instruction format provides {self.qubit_mask_field_width}")
+        if self.topology.pair_mask_width > self.pair_mask_field_width:
+            raise ConfigurationError(
+                f"chip {self.topology.name} needs a "
+                f"{self.topology.pair_mask_width}-bit pair mask; the "
+                f"instruction format provides {self.pair_mask_field_width}")
+        if self.operations.opcode_width != self.q_opcode_width:
+            raise ConfigurationError(
+                f"operation set assigns {self.operations.opcode_width}-bit "
+                f"opcodes; the bundle format provides {self.q_opcode_width}")
+        max_register = (1 << self.target_register_address_width)
+        if self.num_single_qubit_target_registers > max_register:
+            raise ConfigurationError("too many S registers for the field")
+        if self.num_two_qubit_target_registers > max_register:
+            raise ConfigurationError("too many T registers for the field")
+
+    # ------------------------------------------------------------------
+    # Derived limits
+    # ------------------------------------------------------------------
+    @property
+    def max_pi(self) -> int:
+        """Largest pre-interval a bundle instruction can encode."""
+        return (1 << self.pi_width) - 1
+
+    @property
+    def max_qwait(self) -> int:
+        """Largest immediate a QWAIT instruction can encode."""
+        return (1 << self.qwait_immediate_width) - 1
+
+    def ns_to_cycles(self, duration_ns: float) -> int:
+        """Convert nanoseconds to (rounded) timing cycles."""
+        return round(duration_ns / self.cycle_time_ns)
+
+    def cycles_to_ns(self, cycles: int) -> float:
+        """Convert timing cycles to nanoseconds."""
+        return cycles * self.cycle_time_ns
+
+    # ------------------------------------------------------------------
+    # Mask helpers (assembly <-> register content translation)
+    # ------------------------------------------------------------------
+    def qubit_mask(self, qubits) -> int:
+        """Encode a qubit list as a single-qubit target mask."""
+        mask = 0
+        available = set(self.topology.qubits)
+        for qubit in qubits:
+            if qubit not in available:
+                raise ConfigurationError(
+                    f"qubit {qubit} not on chip {self.topology.name}")
+            mask |= 1 << qubit
+        return mask
+
+    def qubits_from_mask(self, mask: int) -> tuple[int, ...]:
+        """Decode a single-qubit target mask to sorted qubit addresses."""
+        qubits = []
+        for qubit in self.topology.qubits:
+            if (mask >> qubit) & 1:
+                qubits.append(qubit)
+        return tuple(sorted(qubits))
+
+    def pair_mask(self, pairs) -> int:
+        """Encode directed (source, target) pairs as a two-qubit mask."""
+        mask = 0
+        for source, target in pairs:
+            address = self.topology.pair_address(source, target)
+            mask |= 1 << address
+        return mask
+
+    def pairs_from_mask(self, mask: int) -> tuple[tuple[int, int], ...]:
+        """Decode a two-qubit target mask to sorted (source, target)s."""
+        pairs = []
+        for pair in self.topology.pairs:
+            if (mask >> pair.address) & 1:
+                pairs.append(pair.as_tuple())
+        return tuple(sorted(pairs))
+
+
+def seven_qubit_instantiation(
+        operations: OperationSet | None = None) -> EQASMInstantiation:
+    """The paper's 32-bit instantiation for the seven-qubit chip."""
+    return EQASMInstantiation(
+        name="eqasm-7q-32bit",
+        topology=surface7(),
+        operations=operations or default_operation_set(),
+    )
+
+
+def two_qubit_instantiation(
+        operations: OperationSet | None = None) -> EQASMInstantiation:
+    """The Section 5 experimental setup: the seven-qubit instantiation
+    retargeted (via a configuration file, per the paper) to the
+    two-qubit chip with qubits renamed 0 and 2."""
+    return EQASMInstantiation(
+        name="eqasm-2q-32bit",
+        topology=two_qubit_chip(),
+        operations=operations or default_operation_set(),
+    )

@@ -1,0 +1,258 @@
+"""Quantum operation definitions and the compile-time operation set.
+
+A defining feature of eQASM (Section 3.2): the ISA does *not* fix a set
+of quantum operations at design time.  Instead the programmer configures,
+at compile time, which operations exist, what their names and opcodes
+are, what pulses implement them, and — for conditional operations such
+as ``C_X`` — which execution flag gates them.  The assembler, the
+microcode unit and the pulse generation must be configured consistently;
+in this library all three derive from a single :class:`OperationSet`.
+
+Durations are in cycles of the deterministic timing domain (20 ns for
+the target chip): 1 cycle for single-qubit gates, 2 for the CZ, 15 for
+measurement (Section 4.2).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.errors import ConfigurationError
+from repro.quantum import gates
+
+
+class OperationKind(enum.Enum):
+    """Arity/role of a quantum operation."""
+
+    SINGLE_QUBIT = "single"
+    TWO_QUBIT = "two"
+    MEASUREMENT = "measurement"
+    NOP = "nop"
+
+
+class ExecutionFlag(enum.IntEnum):
+    """Fast-conditional-execution flag types (Section 4.3).
+
+    Each qubit's execution-flag register holds one bit per type, derived
+    by fixed combinatorial logic from the last (two) finished
+    measurement results of that qubit.
+    """
+
+    ALWAYS = 0            # constant '1': unconditional execution
+    LAST_ONE = 1          # '1' iff the last finished result was |1>
+    LAST_ZERO = 2         # '1' iff the last finished result was |0>
+    LAST_TWO_EQUAL = 3    # '1' iff the last two results were equal
+
+
+@dataclass(frozen=True)
+class QuantumOperation:
+    """One configured quantum operation.
+
+    ``unitary`` is None for measurements and QNOP.  ``condition`` selects
+    the execution flag checked when the triggered micro-operation reaches
+    the fast-conditional-execution unit; unconditional operations use
+    :attr:`ExecutionFlag.ALWAYS`.
+    """
+
+    name: str
+    kind: OperationKind
+    duration_cycles: int
+    unitary: np.ndarray | None = None
+    condition: ExecutionFlag = ExecutionFlag.ALWAYS
+
+    def __post_init__(self) -> None:
+        if self.duration_cycles < 0:
+            raise ConfigurationError(
+                f"operation {self.name}: negative duration")
+        if self.kind in (OperationKind.SINGLE_QUBIT, OperationKind.TWO_QUBIT):
+            if self.unitary is None:
+                raise ConfigurationError(
+                    f"operation {self.name}: gate operations need a unitary")
+            expected_dim = 2 if self.kind is OperationKind.SINGLE_QUBIT else 4
+            matrix = np.asarray(self.unitary)
+            if matrix.shape != (expected_dim, expected_dim):
+                raise ConfigurationError(
+                    f"operation {self.name}: unitary shape {matrix.shape} "
+                    f"does not match kind {self.kind.value}")
+            if not gates.is_unitary(matrix):
+                raise ConfigurationError(
+                    f"operation {self.name}: matrix is not unitary")
+        elif self.unitary is not None:
+            raise ConfigurationError(
+                f"operation {self.name}: {self.kind.value} operations "
+                f"cannot carry a unitary")
+
+    @property
+    def is_conditional(self) -> bool:
+        """Whether fast conditional execution can cancel this operation."""
+        return self.condition is not ExecutionFlag.ALWAYS
+
+    @property
+    def uses_two_qubit_target(self) -> bool:
+        """Whether the operand is a T register (vs an S register)."""
+        return self.kind is OperationKind.TWO_QUBIT
+
+
+class OperationSet:
+    """The compile-time quantum-operation configuration.
+
+    Maps case-insensitive operation names to definitions and assigns each
+    a q opcode.  Opcode 0 is always ``QNOP``; other operations receive
+    consecutive opcodes in registration order unless explicitly pinned.
+    """
+
+    QNOP_NAME = "QNOP"
+    QNOP_OPCODE = 0
+
+    def __init__(self, opcode_width: int = 9):
+        if opcode_width < 1:
+            raise ConfigurationError("opcode width must be positive")
+        self.opcode_width = opcode_width
+        self._by_name: dict[str, QuantumOperation] = {}
+        self._opcode_of: dict[str, int] = {}
+        self._name_of: dict[int, str] = {}
+        qnop = QuantumOperation(name=self.QNOP_NAME, kind=OperationKind.NOP,
+                                duration_cycles=0)
+        self._register(qnop, self.QNOP_OPCODE)
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def _register(self, operation: QuantumOperation, opcode: int) -> None:
+        key = operation.name.upper()
+        if key in self._by_name:
+            raise ConfigurationError(f"operation {key} already defined")
+        if opcode in self._name_of:
+            raise ConfigurationError(
+                f"opcode {opcode} already bound to {self._name_of[opcode]}")
+        if not 0 <= opcode < (1 << self.opcode_width):
+            raise ConfigurationError(
+                f"opcode {opcode} does not fit in {self.opcode_width} bits")
+        self._by_name[key] = operation
+        self._opcode_of[key] = opcode
+        self._name_of[opcode] = key
+
+    def add(self, operation: QuantumOperation,
+            opcode: int | None = None) -> int:
+        """Register an operation; returns the opcode assigned to it."""
+        if opcode is None:
+            opcode = max(self._name_of) + 1
+        self._register(operation, opcode)
+        return opcode
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def __contains__(self, name: str) -> bool:
+        return name.upper() in self._by_name
+
+    def get(self, name: str) -> QuantumOperation:
+        """Operation definition for a (case-insensitive) name."""
+        key = name.upper()
+        if key not in self._by_name:
+            known = ", ".join(sorted(self._by_name))
+            raise ConfigurationError(
+                f"unknown quantum operation {name!r}; configured: {known}")
+        return self._by_name[key]
+
+    def opcode(self, name: str) -> int:
+        """q opcode for an operation name."""
+        self.get(name)
+        return self._opcode_of[name.upper()]
+
+    def name_for_opcode(self, opcode: int) -> str:
+        """Operation name bound to a q opcode."""
+        if opcode not in self._name_of:
+            raise ConfigurationError(f"no operation bound to opcode {opcode}")
+        return self._name_of[opcode]
+
+    def names(self) -> tuple[str, ...]:
+        """All configured operation names (including QNOP)."""
+        return tuple(sorted(self._by_name))
+
+    def __len__(self) -> int:
+        return len(self._by_name)
+
+    @property
+    def qnop(self) -> QuantumOperation:
+        """The quantum no-operation used to fill VLIW slots."""
+        return self._by_name[self.QNOP_NAME]
+
+
+def default_operation_set(
+        measurement_cycles: int = 15,
+        two_qubit_cycles: int = 2) -> OperationSet:
+    """The operation configuration used for the Section 5 experiments.
+
+    Single-qubit set {I, X, Y, X90, Y90, Xm90, Ym90} plus H/Z/S/T for
+    compiled algorithms, a CZ and CNOT two-qubit gate, measurement, and
+    the conditional gates C_X / C_Y / C0_X (flag types 1, 1 and 2).
+    """
+    ops = OperationSet()
+    single = [
+        ("I", gates.I),
+        ("X", gates.X),
+        ("Y", gates.Y),
+        ("X90", gates.X90),
+        ("Y90", gates.Y90),
+        ("XM90", gates.XM90),
+        ("YM90", gates.YM90),
+        ("H", gates.H),
+        ("Z", gates.Z),
+        ("S", gates.S),
+        ("SDG", gates.SDG),
+        ("T", gates.T),
+        ("TDG", gates.TDG),
+    ]
+    for name, unitary in single:
+        ops.add(QuantumOperation(name=name, kind=OperationKind.SINGLE_QUBIT,
+                                 duration_cycles=1, unitary=unitary))
+    ops.add(QuantumOperation(name="CZ", kind=OperationKind.TWO_QUBIT,
+                             duration_cycles=two_qubit_cycles,
+                             unitary=gates.CZ))
+    ops.add(QuantumOperation(name="CNOT", kind=OperationKind.TWO_QUBIT,
+                             duration_cycles=two_qubit_cycles,
+                             unitary=gates.CNOT))
+    ops.add(QuantumOperation(name="SWAP", kind=OperationKind.TWO_QUBIT,
+                             duration_cycles=3 * two_qubit_cycles,
+                             unitary=gates.SWAP))
+    ops.add(QuantumOperation(name="MEASZ", kind=OperationKind.MEASUREMENT,
+                             duration_cycles=measurement_cycles))
+    # Conditional gates for fast conditional execution (Sections 3.5/4.3).
+    ops.add(QuantumOperation(name="C_X", kind=OperationKind.SINGLE_QUBIT,
+                             duration_cycles=1, unitary=gates.X,
+                             condition=ExecutionFlag.LAST_ONE))
+    ops.add(QuantumOperation(name="C_Y", kind=OperationKind.SINGLE_QUBIT,
+                             duration_cycles=1, unitary=gates.Y,
+                             condition=ExecutionFlag.LAST_ONE))
+    ops.add(QuantumOperation(name="C0_X", kind=OperationKind.SINGLE_QUBIT,
+                             duration_cycles=1, unitary=gates.X,
+                             condition=ExecutionFlag.LAST_ZERO))
+    return ops
+
+
+def add_rabi_amplitude_operations(ops: OperationSet, num_steps: int,
+                                  max_angle: float = 2.0 * math.pi) -> list[str]:
+    """Register the uncalibrated ``X_AMP_<i>`` pulses of the Rabi sweep.
+
+    Section 5: "Each pulse in the sequence is uploaded ... and configured
+    to be an operation X_Amp_i in eQASM."  Step ``i`` rotates about x by
+    ``max_angle * i / (num_steps - 1)``, emulating a fixed-length pulse
+    of linearly increasing amplitude.
+    """
+    if num_steps < 2:
+        raise ConfigurationError("a Rabi sweep needs at least two steps")
+    names = []
+    for step in range(num_steps):
+        angle = max_angle * step / (num_steps - 1)
+        name = f"X_AMP_{step}"
+        ops.add(QuantumOperation(name=name,
+                                 kind=OperationKind.SINGLE_QUBIT,
+                                 duration_cycles=1,
+                                 unitary=gates.rx(angle)))
+        names.append(name)
+    return names

@@ -1,0 +1,178 @@
+"""CFC verification and feedback-latency measurement (Section 5).
+
+Two reproductions:
+
+* **CFC verification** — the Fig. 5 program with the measurement unit
+  "programmed to generate alternative mock measurement results"; the
+  observable is strict X/Y alternation of the conditioned operation
+  (the paper verified the alternating digital outputs on a scope).
+* **Feedback latencies** — "the time between sending the measurement
+  result into the Central Controller and receiving the digital output
+  based on the feedback": ~92 ns for fast conditional execution and
+  ~316 ns for CFC.  The reproduction measures both paths on the
+  simulated microarchitecture with minimal-wait probe programs,
+  scanning the programmed wait to find the shortest correct schedule
+  (shorter waits would sample a stale flag / stall the timeline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.runner import ExperimentSetup
+from repro.quantum.noise import NoiseModel
+
+PAPER_FAST_CONDITIONAL_LATENCY_NS = 92.0
+PAPER_CFC_LATENCY_NS = 316.0
+
+#: Fig. 5's program (qubit 1 renamed to on-chip qubit 2, as the
+#: two-qubit setup names its qubits 0 and 2).
+FIG5_PROGRAM = """
+SMIS S0, {0}
+SMIS S2, {2}
+LDI R0, 1
+MEASZ S2
+QWAIT 30
+FMR R1, Q2
+CMP R1, R0
+BR EQ, eq_path
+ne_path:
+X S0
+BR ALWAYS, next
+eq_path:
+Y S0
+next:
+STOP
+"""
+
+
+@dataclass
+class CFCVerificationResult:
+    """Outcome of the mock-result alternation test."""
+
+    applied_operations: list[str]
+
+    @property
+    def alternates(self) -> bool:
+        """Whether the output strictly alternates X, Y, X, Y, ..."""
+        expected = ["X", "Y"] * (len(self.applied_operations) // 2 + 1)
+        return self.applied_operations == \
+            expected[:len(self.applied_operations)]
+
+
+def run_cfc_verification(rounds: int = 16, seed: int = 3
+                         ) -> CFCVerificationResult:
+    """Run Fig. 5 with alternating mock results (0, 1, 0, 1, ...)."""
+    setup = ExperimentSetup.create(noise=NoiseModel.noiseless(),
+                                   seed=seed)
+    pattern = [i % 2 for i in range(rounds)]
+    setup.machine.measurement_unit.inject_mock_results(2, pattern)
+    assembled = setup.assemble_text(FIG5_PROGRAM)
+    setup.machine.load(assembled)
+    applied: list[str] = []
+    for _ in range(rounds):
+        setup.machine.run_shot()
+        ops = [op.name for op in setup.machine.plant.operations_log
+               if op.qubits == (0,)]
+        applied.extend(ops)
+    return CFCVerificationResult(applied_operations=applied)
+
+
+@dataclass
+class LatencyResult:
+    """Measured feedback latencies of both mechanisms."""
+
+    fast_conditional_ns: float
+    cfc_ns: float
+
+    def fast_conditional_matches(self, tolerance_ns: float = 25.0) -> bool:
+        return abs(self.fast_conditional_ns -
+                   PAPER_FAST_CONDITIONAL_LATENCY_NS) <= tolerance_ns
+
+    def cfc_matches(self, tolerance_ns: float = 60.0) -> bool:
+        return abs(self.cfc_ns - PAPER_CFC_LATENCY_NS) <= tolerance_ns
+
+
+def _fast_conditional_probe(setup: ExperimentSetup,
+                            wait_cycles: int) -> float | None:
+    """Latency of one fast-conditional probe, or None if invalid.
+
+    Program: measure, wait, conditional C_X.  The probe is invalid when
+    the C_X triggers before the execution flag refreshed (stale-flag
+    race: the gate would be cancelled although the result was |1>).
+    """
+    machine = setup.machine
+    machine.measurement_unit.clear_mock_results()
+    machine.measurement_unit.inject_mock_results(2, [1])
+    assembled = setup.assemble_text(f"""
+    SMIS S2, {{2}}
+    MEASZ S2
+    QWAIT {wait_cycles}
+    C_X S2
+    STOP
+    """)
+    machine.load(assembled)
+    trace = machine.run_shot()
+    cx = [t for t in trace.triggers if t.name == "C_X"]
+    if not cx or not cx[0].executed:
+        return None  # stale flag: wait too short
+    result_arrival = trace.results[0].arrival_ns
+    if cx[0].trigger_ns < result_arrival:
+        return None
+    return cx[0].output_ns - result_arrival
+
+
+def _cfc_probe(setup: ExperimentSetup, wait_cycles: int) -> float | None:
+    """Latency of one CFC probe, or None if the schedule was invalid."""
+    from repro.core.errors import TimingViolationError
+    machine = setup.machine
+    machine.measurement_unit.clear_mock_results()
+    machine.measurement_unit.inject_mock_results(2, [1])
+    assembled = setup.assemble_text(f"""
+    SMIS S0, {{0}}
+    SMIS S2, {{2}}
+    LDI R0, 1
+    MEASZ S2
+    QWAIT {wait_cycles}
+    FMR R1, Q2
+    CMP R1, R0
+    BR EQ, eq_path
+    X S0
+    BR ALWAYS, next
+    eq_path:
+    Y S0
+    next:
+    STOP
+    """)
+    machine.load(assembled)
+    try:
+        trace = machine.run_shot()
+    except TimingViolationError:
+        return None
+    conditioned = [t for t in trace.triggers if t.name in ("X", "Y")]
+    if not conditioned:
+        return None
+    result_arrival = trace.results[0].arrival_ns
+    return conditioned[0].output_ns - result_arrival
+
+
+def measure_feedback_latencies(seed: int = 0) -> LatencyResult:
+    """Scan programmed waits for the minimal correct latency of each path."""
+    setup = ExperimentSetup.create(noise=NoiseModel.noiseless(), seed=seed)
+    fast = min((latency for wait in range(14, 40)
+                if (latency := _fast_conditional_probe(setup, wait))
+                is not None), default=float("nan"))
+    cfc = min((latency for wait in range(14, 60)
+               if (latency := _cfc_probe(setup, wait)) is not None),
+              default=float("nan"))
+    return LatencyResult(fast_conditional_ns=fast, cfc_ns=cfc)
+
+
+def format_latency_report(result: LatencyResult) -> str:
+    """Render latencies vs the paper's measurements."""
+    return (
+        f"feedback latency (result into controller -> digital output):\n"
+        f"  fast conditional execution: "
+        f"{result.fast_conditional_ns:.0f} ns   (paper: ~92 ns)\n"
+        f"  comprehensive feedback control: "
+        f"{result.cfc_ns:.0f} ns   (paper: ~316 ns)")

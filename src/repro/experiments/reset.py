@@ -1,0 +1,78 @@
+"""Active qubit reset via fast conditional execution (Fig. 4, Section 5).
+
+"Fast conditional execution is verified by the active qubit reset
+experiment with qubit 2 ... We find the probability of measuring the
+qubit in the |0> state after conditionally applying the C_X gate to be
+82.7 %, limited by the readout fidelity."
+
+The experiment runs the exact Fig. 4 program (hand-written assembly,
+not compiler output) on the machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.runner import ExperimentSetup, ground_fraction
+from repro.quantum.noise import NoiseModel
+
+#: The Fig. 4 listing, extended with a terminating STOP.
+FIG4_PROGRAM = """
+SMIS S2, {2}
+QWAIT 10000
+X90 S2
+MEASZ S2
+QWAIT 50
+C_X S2
+MEASZ S2
+STOP
+"""
+
+PAPER_RESET_PROBABILITY = 0.827
+
+
+@dataclass
+class ResetResult:
+    """Outcome of the active-reset experiment."""
+
+    shots: int
+    ground_probability: float          # P(final result = 0)
+    conditional_executed_fraction: float
+    readout_fidelity: float
+
+    def matches_paper(self, tolerance: float = 0.05) -> bool:
+        """Within ``tolerance`` of the paper's 82.7 %."""
+        return abs(self.ground_probability -
+                   PAPER_RESET_PROBABILITY) <= tolerance
+
+
+def run_active_reset_experiment(shots: int = 2000, seed: int = 5,
+                                noise: NoiseModel | None = None
+                                ) -> ResetResult:
+    """Execute the Fig. 4 program for N shots."""
+    setup = ExperimentSetup.create(noise=noise, seed=seed)
+    assembled = setup.assemble_text(FIG4_PROGRAM)
+    traces = setup.run(assembled, shots)
+    executed = 0
+    for trace in traces:
+        cx = [t for t in trace.triggers if t.name == "C_X"]
+        if cx and cx[0].executed:
+            executed += 1
+    return ResetResult(
+        shots=shots,
+        ground_probability=ground_fraction(traces, 2),
+        conditional_executed_fraction=executed / shots,
+        readout_fidelity=setup.machine.plant.noise.readout
+        .assignment_fidelity)
+
+
+def format_reset_report(result: ResetResult) -> str:
+    """Render the reset result vs the paper's number."""
+    return (
+        f"active reset over {result.shots} shots:\n"
+        f"  P(|0> after conditional C_X): "
+        f"{result.ground_probability * 100:.1f}%  (paper: 82.7%)\n"
+        f"  C_X executed in {result.conditional_executed_fraction * 100:.1f}"
+        f"% of shots (expect ~50%)\n"
+        f"  readout assignment fidelity: "
+        f"{result.readout_fidelity * 100:.1f}% (the limiting factor)")

@@ -1,0 +1,149 @@
+"""Experiment runner: circuit -> compile -> assemble -> execute.
+
+Glues the full stack together the way the paper's toolflow does
+(Section 2.1): the OpenQL-like backend schedules the circuit and emits
+eQASM, the assembler produces the binary, the binary is loaded into the
+QuMA v2 instruction memory and executed against the plant for N shots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.compiler.codegen import EQASMCodeGenerator
+from repro.compiler.ir import Circuit
+from repro.compiler.scheduler import (
+    schedule_asap,
+    schedule_with_interval,
+)
+from repro.core.assembler import AssembledProgram, Assembler
+from repro.core.isa import EQASMInstantiation, two_qubit_instantiation
+from repro.quantum.noise import NoiseModel
+from repro.quantum.plant import QuantumPlant
+from repro.uarch.config import UarchConfig
+from repro.uarch.machine import QuMAv2
+from repro.uarch.trace import ShotTrace
+
+
+@dataclass
+class ExperimentSetup:
+    """A ready-to-run machine + assembler pair for one instantiation."""
+
+    isa: EQASMInstantiation
+    machine: QuMAv2
+    assembler: Assembler
+
+    @classmethod
+    def create(cls, isa: EQASMInstantiation | None = None,
+               noise: NoiseModel | None = None,
+               seed: int = 0,
+               config: UarchConfig | None = None) -> "ExperimentSetup":
+        """Build the Section 5 experimental setup.
+
+        Defaults: the two-qubit instantiation, the calibrated noise
+        model, and the paper-like microarchitecture configuration.
+        """
+        isa = isa or two_qubit_instantiation()
+        plant = QuantumPlant(isa.topology,
+                             noise=noise if noise is not None
+                             else NoiseModel(),
+                             rng=np.random.default_rng(seed))
+        machine = QuMAv2(isa, plant, config=config)
+        return cls(isa=isa, machine=machine, assembler=Assembler(isa))
+
+    # ------------------------------------------------------------------
+    # Compilation
+    # ------------------------------------------------------------------
+    def compile_circuit(self, circuit: Circuit,
+                        interval_cycles: int | None = None,
+                        initialize_cycles: int = 10000,
+                        final_wait_cycles: int = 50) -> AssembledProgram:
+        """Schedule + codegen + assemble a circuit.
+
+        ``interval_cycles`` forces a fixed gate-start interval (the
+        Fig. 12 knob); None uses ASAP scheduling.  ``final_wait_cycles``
+        keeps the timeline open past the last measurement, matching the
+        paper's trailing QWAIT.
+        """
+        if interval_cycles is None:
+            schedule = schedule_asap(circuit, self.isa.operations)
+        else:
+            schedule = schedule_with_interval(circuit, self.isa.operations,
+                                              interval_cycles)
+        generator = EQASMCodeGenerator(self.isa)
+        program = generator.generate(schedule,
+                                     initialize_cycles=initialize_cycles,
+                                     final_wait_cycles=final_wait_cycles)
+        return self.assembler.assemble_program(program)
+
+    def assemble_text(self, text: str) -> AssembledProgram:
+        """Assemble hand-written eQASM (the paper's listing figures)."""
+        return self.assembler.assemble_text(text)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, assembled: AssembledProgram,
+            shots: int) -> list[ShotTrace]:
+        """Load the binary and run it for N shots."""
+        self.machine.load(assembled)
+        return self.machine.run(shots)
+
+    def run_circuit(self, circuit: Circuit, shots: int,
+                    interval_cycles: int | None = None,
+                    initialize_cycles: int = 10000,
+                    final_wait_cycles: int = 50) -> list[ShotTrace]:
+        """Compile and run a circuit in one call."""
+        assembled = self.compile_circuit(
+            circuit, interval_cycles=interval_cycles,
+            initialize_cycles=initialize_cycles,
+            final_wait_cycles=final_wait_cycles)
+        return self.run(assembled, shots)
+
+    def survival_probability(self, circuit: Circuit,
+                             qubit: int,
+                             interval_cycles: int | None = None
+                             ) -> float:
+        """Exact P(qubit = 0) at the end of a measurement-free circuit.
+
+        Runs a single shot and reads the plant's density matrix — the
+        sampling-noise-free observable used by the RB fits (the machine
+        still executes the genuine binary; only the final readout is
+        replaced by the exact population).
+        """
+        assembled = self.compile_circuit(circuit,
+                                         interval_cycles=interval_cycles,
+                                         final_wait_cycles=0)
+        self.machine.load(assembled)
+        self.machine.run_shot()
+        return 1.0 - self.machine.plant.probability_one(qubit)
+
+
+def excited_fraction(traces: list[ShotTrace], qubit: int) -> float:
+    """Fraction of shots whose last result on ``qubit`` was 1."""
+    results = [trace.last_result(qubit) for trace in traces]
+    results = [r for r in results if r is not None]
+    if not results:
+        raise ValueError(f"no measurement results for qubit {qubit}")
+    return sum(results) / len(results)
+
+
+def ground_fraction(traces: list[ShotTrace], qubit: int) -> float:
+    """Fraction of shots whose last result on ``qubit`` was 0."""
+    return 1.0 - excited_fraction(traces, qubit)
+
+
+def outcome_counts(traces: list[ShotTrace], qubit_a: int,
+                   qubit_b: int) -> dict[int, int]:
+    """Two-bit outcome histogram over shots (qubit_a = MSB)."""
+    counts: dict[int, int] = {}
+    for trace in traces:
+        a = trace.last_result(qubit_a)
+        b = trace.last_result(qubit_b)
+        if a is None or b is None:
+            continue
+        key = (a << 1) | b
+        counts[key] = counts.get(key, 0) + 1
+    return counts

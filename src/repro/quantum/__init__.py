@@ -1,0 +1,24 @@
+"""Quantum-state substrate: gates, simulators, noise, plant, tomography."""
+
+from repro.quantum.density_matrix import DensityMatrix
+from repro.quantum.noise import (
+    DecoherenceModel,
+    GateErrorModel,
+    NoiseModel,
+    ReadoutErrorModel,
+)
+from repro.quantum.plant import AppliedOperation, QuantumPlant
+from repro.quantum.statevector import Statevector, basis_state, zero_state
+
+__all__ = [
+    "AppliedOperation",
+    "DecoherenceModel",
+    "DensityMatrix",
+    "GateErrorModel",
+    "NoiseModel",
+    "QuantumPlant",
+    "ReadoutErrorModel",
+    "Statevector",
+    "basis_state",
+    "zero_state",
+]

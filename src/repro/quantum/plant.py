@@ -1,0 +1,177 @@
+"""The quantum plant: timed, noisy qubits behind the analog-digital
+interface.
+
+In the paper's hardware (Fig. 10), the microarchitecture's digital output
+triggers codeword-selected pulses that drive the transmon chip.  In this
+reproduction, the plant stands in for the chip *plus* the analog
+electronics: it accepts trigger events ("apply unitary U to qubits (a, b)
+at time t", "start measuring qubit q at time t") and maintains an exact
+density matrix under a calibrated noise model.
+
+Physics modelled:
+
+* decoherence while idling (T1/T2), applied lazily per qubit between
+  consecutive operations — this produces the Fig. 12 interval dependence;
+* depolarizing gate error applied with every unitary;
+* projective z-measurement, collapsing the state; the classical
+  assignment error is applied by the measurement-discrimination unit
+  (:mod:`repro.uarch.measurement`) so that the plant itself reports the
+  physical outcome.
+
+The plant enforces monotonic per-qubit time: an operation scheduled
+before the previous one on the same qubit has finished indicates a
+control bug (the paper inserts a 1 us wait after measurements precisely
+to avoid this) and raises :class:`~repro.core.errors.PlantError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.errors import PlantError
+from repro.quantum.density_matrix import DensityMatrix
+from repro.quantum.noise import NoiseModel
+from repro.topology.chip import QuantumChipTopology
+
+
+@dataclass(frozen=True)
+class AppliedOperation:
+    """Trace record of one operation the plant actually performed."""
+
+    name: str
+    qubits: tuple[int, ...]
+    start_ns: float
+    duration_ns: float
+
+
+class QuantumPlant:
+    """Density-matrix model of the chip behind the ADI.
+
+    Parameters
+    ----------
+    topology:
+        Chip description; physical qubit addresses may be sparse (the
+        two-qubit chip uses addresses 0 and 2) and are mapped to dense
+        simulator indices internally.
+    noise:
+        The noise model; defaults to the calibrated paper-like model.
+    rng:
+        Random generator for measurement sampling.  Pass a seeded
+        generator for reproducible shots.
+    """
+
+    def __init__(self, topology: QuantumChipTopology,
+                 noise: NoiseModel | None = None,
+                 rng: np.random.Generator | None = None):
+        self.topology = topology
+        self.noise = noise if noise is not None else NoiseModel()
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self._index_of = {address: index
+                          for index, address in enumerate(topology.qubits)}
+        self.num_qubits = len(topology.qubits)
+        self.state = DensityMatrix(self.num_qubits)
+        self._qubit_free_at = {address: 0.0 for address in topology.qubits}
+        self.operations_log: list[AppliedOperation] = []
+
+    # ------------------------------------------------------------------
+    # Shot lifecycle
+    # ------------------------------------------------------------------
+    def reset_shot(self) -> None:
+        """Return every qubit to |0> at time zero (start of a new shot)."""
+        self.state = DensityMatrix(self.num_qubits)
+        self._qubit_free_at = {address: 0.0
+                               for address in self.topology.qubits}
+        self.operations_log = []
+
+    def qubit_index(self, address: int) -> int:
+        """Dense simulator index for a physical qubit address."""
+        try:
+            return self._index_of[address]
+        except KeyError:
+            raise PlantError(
+                f"qubit address {address} not on chip {self.topology.name}")
+
+    # ------------------------------------------------------------------
+    # Idling
+    # ------------------------------------------------------------------
+    def _advance_qubit(self, address: int, to_time_ns: float) -> None:
+        """Apply idle decoherence to one qubit up to ``to_time_ns``."""
+        free_at = self._qubit_free_at[address]
+        if to_time_ns < free_at - 1e-9:
+            raise PlantError(
+                f"operation on qubit {address} at t={to_time_ns} ns "
+                f"overlaps previous operation ending at {free_at} ns")
+        idle = max(to_time_ns - free_at, 0.0)
+        if idle > 0:
+            kraus = self.noise.decoherence.idle_channel(idle)
+            self.state.apply_channel(kraus, (self.qubit_index(address),))
+
+    def idle_all_until(self, time_ns: float) -> None:
+        """Idle every qubit up to ``time_ns`` (end-of-program flush)."""
+        for address in self.topology.qubits:
+            if time_ns > self._qubit_free_at[address]:
+                self._advance_qubit(address, time_ns)
+                self._qubit_free_at[address] = time_ns
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def apply_unitary(self, name: str, unitary: np.ndarray,
+                      qubits: tuple[int, ...], start_ns: float,
+                      duration_ns: float,
+                      apply_gate_error: bool = True) -> None:
+        """Apply a named unitary on physical qubit addresses at a time.
+
+        The qubits are first idled (decohered) up to ``start_ns``; the
+        gate is applied instantaneously at its start time and the qubits
+        are marked busy until ``start_ns + duration_ns``.
+        """
+        if not qubits:
+            raise PlantError(f"operation {name} has no target qubits")
+        for address in qubits:
+            self._advance_qubit(address, start_ns)
+        indices = tuple(self.qubit_index(address) for address in qubits)
+        self.state.apply_gate(np.asarray(unitary, dtype=complex), indices)
+        if apply_gate_error:
+            channel = self.noise.gate_error.channel_for(len(qubits))
+            self.state.apply_channel(channel, indices)
+        for address in qubits:
+            self._qubit_free_at[address] = start_ns + duration_ns
+        self.operations_log.append(
+            AppliedOperation(name=name, qubits=qubits, start_ns=start_ns,
+                             duration_ns=duration_ns))
+
+    def measure(self, qubit: int, start_ns: float,
+                duration_ns: float) -> int:
+        """Projective z-measurement of a physical qubit.
+
+        Returns the *physical* outcome (no assignment error); the
+        measurement-discrimination unit applies the classical readout
+        flip.  The qubit is busy for the full measurement duration.
+        """
+        self._advance_qubit(qubit, start_ns)
+        result = self.state.measure(self.qubit_index(qubit), self.rng)
+        self._qubit_free_at[qubit] = start_ns + duration_ns
+        self.operations_log.append(
+            AppliedOperation(name="MEASZ", qubits=(qubit,),
+                             start_ns=start_ns, duration_ns=duration_ns))
+        return result
+
+    # ------------------------------------------------------------------
+    # Inspection helpers (used by experiments and tests)
+    # ------------------------------------------------------------------
+    def probability_one(self, qubit: int) -> float:
+        """Ideal P(1) of a physical qubit in the current state."""
+        return self.state.probability_one(self.qubit_index(qubit))
+
+    def density_matrix(self) -> DensityMatrix:
+        """Copy of the current joint state."""
+        return self.state.copy()
+
+    def qubit_free_at(self, qubit: int) -> float:
+        """Time at which the qubit's last operation completes."""
+        if qubit not in self._qubit_free_at:
+            raise PlantError(f"qubit {qubit} not on chip")
+        return self._qubit_free_at[qubit]

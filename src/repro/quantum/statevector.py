@@ -1,0 +1,165 @@
+"""Pure-state (statevector) simulator.
+
+Used where noise is irrelevant: verifying that compiled circuits
+implement the intended unitary (Grover square root, Ising model,
+Clifford inversion in randomized benchmarking) and computing ideal
+reference curves (the AllXY staircase).
+
+Qubit index convention: qubit 0 is the most significant bit of the
+computational basis index, i.e. for ``n`` qubits, basis state
+``|q0 q1 ... q(n-1)>`` has index ``q0 * 2**(n-1) + ... + q(n-1)``.
+The same convention is used by :mod:`repro.quantum.density_matrix`.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.errors import PlantError
+
+
+class Statevector:
+    """An ``n``-qubit pure state with gate application and measurement."""
+
+    def __init__(self, num_qubits: int,
+                 amplitudes: np.ndarray | None = None):
+        if num_qubits < 1:
+            raise PlantError("need at least one qubit")
+        self.num_qubits = num_qubits
+        dim = 1 << num_qubits
+        if amplitudes is None:
+            self._amplitudes = np.zeros(dim, dtype=complex)
+            self._amplitudes[0] = 1.0
+        else:
+            amplitudes = np.asarray(amplitudes, dtype=complex).ravel()
+            if amplitudes.shape != (dim,):
+                raise PlantError(
+                    f"amplitude vector has shape {amplitudes.shape}, "
+                    f"expected ({dim},)")
+            norm = np.linalg.norm(amplitudes)
+            if not math.isclose(norm, 1.0, abs_tol=1e-9):
+                raise PlantError(f"state not normalised (norm {norm})")
+            self._amplitudes = amplitudes.copy()
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def amplitudes(self) -> np.ndarray:
+        """A copy of the amplitude vector."""
+        return self._amplitudes.copy()
+
+    def probability(self, basis_state: int) -> float:
+        """Probability of measuring the given computational basis state."""
+        return float(abs(self._amplitudes[basis_state]) ** 2)
+
+    def probabilities(self) -> np.ndarray:
+        """Probabilities over all computational basis states."""
+        return np.abs(self._amplitudes) ** 2
+
+    def copy(self) -> "Statevector":
+        """An independent copy of this state."""
+        return Statevector(self.num_qubits, self._amplitudes)
+
+    # ------------------------------------------------------------------
+    # Evolution
+    # ------------------------------------------------------------------
+    def apply_gate(self, unitary: np.ndarray, qubits: tuple[int, ...] | list[int]) -> None:
+        """Apply a k-qubit unitary to the listed qubits, in order.
+
+        ``qubits[0]`` corresponds to the most significant bit of the
+        unitary's own basis (matching :mod:`repro.quantum.gates`).
+        """
+        qubits = tuple(qubits)
+        unitary = np.asarray(unitary, dtype=complex)
+        k = len(qubits)
+        if unitary.shape != (1 << k, 1 << k):
+            raise PlantError(
+                f"unitary shape {unitary.shape} does not match {k} qubit(s)")
+        if len(set(qubits)) != k:
+            raise PlantError(f"duplicate qubits in {qubits}")
+        for qubit in qubits:
+            if not 0 <= qubit < self.num_qubits:
+                raise PlantError(f"qubit {qubit} out of range")
+        self._amplitudes = _apply_unitary(self._amplitudes, unitary, qubits,
+                                          self.num_qubits)
+
+    def measure_probability_one(self, qubit: int) -> float:
+        """P(qubit measured as 1) without collapsing the state.
+
+        With qubit 0 as the most significant bit, qubit ``q`` is axis
+        ``q`` of the state tensor reshaped to ``[2] * num_qubits``.
+        """
+        if not 0 <= qubit < self.num_qubits:
+            raise PlantError(f"qubit {qubit} out of range")
+        reshaped = self._amplitudes.reshape([2] * self.num_qubits)
+        slice_one = np.take(reshaped, 1, axis=qubit)
+        return float(np.sum(np.abs(slice_one) ** 2))
+
+    def measure(self, qubit: int, rng: np.random.Generator) -> int:
+        """Projective z-measurement of one qubit; collapses the state."""
+        p_one = self.measure_probability_one(qubit)
+        result = 1 if rng.random() < p_one else 0
+        self.collapse(qubit, result)
+        return result
+
+    def collapse(self, qubit: int, result: int) -> None:
+        """Project onto ``result`` for ``qubit`` and renormalise."""
+        reshaped = self._amplitudes.reshape([2] * self.num_qubits)
+        index = [slice(None)] * self.num_qubits
+        index[qubit] = 1 - result
+        reshaped[tuple(index)] = 0.0
+        norm = np.linalg.norm(self._amplitudes)
+        if norm < 1e-12:
+            raise PlantError(
+                f"collapse of qubit {qubit} to {result} has probability 0")
+        self._amplitudes /= norm
+
+    # ------------------------------------------------------------------
+    # Comparisons
+    # ------------------------------------------------------------------
+    def fidelity(self, other: "Statevector") -> float:
+        """|<self|other>|^2 — pure state overlap."""
+        if other.num_qubits != self.num_qubits:
+            raise PlantError("qubit count mismatch")
+        return float(abs(np.vdot(self._amplitudes, other._amplitudes)) ** 2)
+
+    def equiv_up_to_phase(self, other: "Statevector",
+                          atol: float = 1e-9) -> bool:
+        """Whether two pure states are equal up to global phase."""
+        return self.fidelity(other) > 1.0 - atol
+
+
+def _apply_unitary(amplitudes: np.ndarray, unitary: np.ndarray,
+                   qubits: tuple[int, ...], num_qubits: int) -> np.ndarray:
+    """Apply a unitary on selected qubits via tensor reshaping."""
+    k = len(qubits)
+    tensor = amplitudes.reshape([2] * num_qubits)
+    # Move the target axes to the front, in the given order.
+    axes = list(qubits)
+    rest = [axis for axis in range(num_qubits) if axis not in axes]
+    tensor = np.transpose(tensor, axes + rest)
+    tensor = tensor.reshape(1 << k, -1)
+    tensor = unitary @ tensor
+    tensor = tensor.reshape([2] * num_qubits)
+    # Move axes back.
+    inverse = np.argsort(axes + rest)
+    tensor = np.transpose(tensor, inverse)
+    return tensor.reshape(-1)
+
+
+def zero_state(num_qubits: int) -> Statevector:
+    """|0...0> on ``num_qubits`` qubits."""
+    return Statevector(num_qubits)
+
+
+def basis_state(num_qubits: int, index: int) -> Statevector:
+    """Computational basis state with the given integer index."""
+    dim = 1 << num_qubits
+    if not 0 <= index < dim:
+        raise PlantError(f"basis index {index} out of range for {dim}")
+    amplitudes = np.zeros(dim, dtype=complex)
+    amplitudes[index] = 1.0
+    return Statevector(num_qubits, amplitudes)

@@ -1,0 +1,139 @@
+"""Chip topologies used by the paper and its evaluation.
+
+* :func:`surface7` — the seven-qubit superconducting chip of Fig. 6
+  (a distance-2 surface-code patch with 16 directed allowed pairs and
+  two feedlines).
+* :func:`two_qubit_chip` — the two-transmon processor used for the
+  Section 5 experiments (qubits renamed 0 and 2, single feedline).
+* :func:`ibm_qx2` — IBM Q 5 "Yorktown": five qubits, six allowed pairs
+  (the paper's mask-efficiency example in Section 3.3.2).
+* :func:`fully_connected_ion_trap` — a fully connected 5-qubit trapped
+  ion processor (the paper's address-pair-efficiency example).
+* :func:`linear_chain` — parameterisable 1-D chain, used by workload
+  generators for qubit counts the fixed chips do not cover.
+"""
+
+from __future__ import annotations
+
+from repro.topology.chip import QuantumChipTopology, QubitPair
+
+
+def surface7() -> QuantumChipTopology:
+    """The seven-qubit chip of Fig. 6.
+
+    Vertices 0..6; the edge addressing follows the figure: each physical
+    coupling contributes two directed pairs, with address ``i`` and
+    ``i + 8`` pointing in opposite directions.  Pair 0 has source qubit 2
+    and target qubit 0 (the worked example in Section 3.3.1), and the
+    OpSel example of Section 4.3 requires qubit 0 to touch edges 0, 1,
+    8 and 9 with 0/9 making it the target and 1/8 the source.
+    """
+    forward = [
+        (2, 0),   # edge 0
+        (0, 3),   # edge 1
+        (1, 3),   # edge 2
+        (1, 4),   # edge 3
+        (2, 5),   # edge 4
+        (3, 5),   # edge 5
+        (3, 6),   # edge 6
+        (4, 6),   # edge 7
+    ]
+    pairs = []
+    for address, (source, target) in enumerate(forward):
+        pairs.append(QubitPair(address=address, source=source, target=target))
+        pairs.append(QubitPair(address=address + 8, source=target,
+                               target=source))
+    return QuantumChipTopology(
+        name="surface-7",
+        qubits=(0, 1, 2, 3, 4, 5, 6),
+        pairs=tuple(pairs),
+        feedlines={0: (0, 2, 3, 5, 6), 1: (1, 4)},
+    )
+
+
+def two_qubit_chip() -> QuantumChipTopology:
+    """The two-qubit processor used for the experiments in Section 5.
+
+    The two interconnected qubits are renamed 0 and 2 (matching the
+    programs of Figs. 3-5), coupled to a single feedline.
+    """
+    return QuantumChipTopology(
+        name="two-qubit",
+        qubits=(0, 2),
+        pairs=(
+            QubitPair(address=0, source=2, target=0),
+            QubitPair(address=1, source=0, target=2),
+        ),
+        feedlines={0: (0, 2)},
+    )
+
+
+def ibm_qx2() -> QuantumChipTopology:
+    """IBM Q 5 Yorktown: 5 qubits, 6 allowed (directed) pairs.
+
+    Section 3.3.2 uses this chip to argue a 6-bit pair mask beats
+    address-pair encoding when connectivity is limited.  CNOT directions
+    follow the published backend specification.
+    """
+    directed = [(1, 0), (2, 0), (2, 1), (3, 2), (3, 4), (4, 2)]
+    pairs = tuple(QubitPair(address=i, source=s, target=t)
+                  for i, (s, t) in enumerate(directed))
+    return QuantumChipTopology(name="ibm-qx2", qubits=(0, 1, 2, 3, 4),
+                               pairs=pairs, feedlines={0: (0, 1, 2, 3, 4)})
+
+
+def fully_connected_ion_trap(num_qubits: int = 5) -> QuantumChipTopology:
+    """A fully connected trapped-ion processor (Section 3.3.2 example).
+
+    Every ordered pair of distinct qubits is an allowed pair, giving
+    ``n * (n - 1)`` directed edges (20 for five qubits).
+    """
+    qubits = tuple(range(num_qubits))
+    pairs = []
+    address = 0
+    for source in qubits:
+        for target in qubits:
+            if source == target:
+                continue
+            pairs.append(QubitPair(address=address, source=source,
+                                   target=target))
+            address += 1
+    return QuantumChipTopology(name=f"ion-trap-{num_qubits}", qubits=qubits,
+                               pairs=tuple(pairs),
+                               feedlines={0: qubits})
+
+
+def linear_chain(num_qubits: int) -> QuantumChipTopology:
+    """A 1-D nearest-neighbour chain with both edge directions allowed.
+
+    Used by the 8-qubit Grover square-root workload (the surface-7 chip
+    has only seven qubits; the paper compiled SR for an 8-qubit target).
+    """
+    qubits = tuple(range(num_qubits))
+    pairs = []
+    address = 0
+    for left in range(num_qubits - 1):
+        pairs.append(QubitPair(address=address, source=left, target=left + 1))
+        address += 1
+        pairs.append(QubitPair(address=address, source=left + 1, target=left))
+        address += 1
+    return QuantumChipTopology(name=f"chain-{num_qubits}", qubits=qubits,
+                               pairs=tuple(pairs), feedlines={0: qubits})
+
+
+CHIP_LIBRARY = {
+    "surface-7": surface7,
+    "two-qubit": two_qubit_chip,
+    "ibm-qx2": ibm_qx2,
+    "ion-trap-5": fully_connected_ion_trap,
+}
+
+
+def get_chip(name: str) -> QuantumChipTopology:
+    """Look a chip up by name in the library."""
+    try:
+        factory = CHIP_LIBRARY[name]
+    except KeyError:
+        known = ", ".join(sorted(CHIP_LIBRARY))
+        raise KeyError(f"unknown chip {name!r}; known chips: {known}")
+    return factory()

@@ -1,0 +1,41 @@
+"""QuMA v2 microarchitecture simulator (Fig. 9 / Fig. 10)."""
+
+from repro.uarch.config import UarchConfig, slip_config
+from repro.uarch.devices import (
+    DeviceEventDistributor,
+    DeviceId,
+    DeviceOperation,
+    EventQueue,
+    PulseLibrary,
+    QubitMicroOp,
+)
+from repro.uarch.machine import QuMAv2
+from repro.uarch.measurement import MeasurementUnit, PendingResult
+from repro.uarch.quantum_pipeline import OpSel, QuantumPipeline, ReservedPoint
+from repro.uarch.trace import (
+    ResultRecord,
+    ShotTrace,
+    SlipRecord,
+    TriggerRecord,
+)
+
+__all__ = [
+    "DeviceEventDistributor",
+    "DeviceId",
+    "DeviceOperation",
+    "EventQueue",
+    "MeasurementUnit",
+    "OpSel",
+    "PendingResult",
+    "PulseLibrary",
+    "QuMAv2",
+    "QuantumPipeline",
+    "QubitMicroOp",
+    "ReservedPoint",
+    "ResultRecord",
+    "ShotTrace",
+    "SlipRecord",
+    "TriggerRecord",
+    "UarchConfig",
+    "slip_config",
+]

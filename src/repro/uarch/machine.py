@@ -1,0 +1,541 @@
+"""QuMA v2: the quantum control microarchitecture (Fig. 9), simulated.
+
+The machine executes an assembled eQASM binary against a quantum plant.
+It is organised exactly as the paper's block diagram:
+
+* a **classical pipeline** (100 MHz) fetches and executes instructions
+  in order — auxiliary classical instructions locally, quantum
+  instructions forwarded to the quantum pipeline; ``FMR`` stalls while
+  the addressed Q register is invalid (the CFC counter mechanism);
+* the **quantum pipeline** (reserve phase) builds timing points and
+  per-qubit micro-operations (:mod:`repro.uarch.quantum_pipeline`);
+* the **device event distributor** groups micro-ops per device and the
+  **timing controller** (50 MHz) triggers each device operation at its
+  timing point — events are simulated with a global chronological
+  queue, so fast-conditional flag reads always observe the flag state
+  of their trigger instant;
+* **fast conditional execution** checks the selected execution flag of
+  each target qubit at trigger time and cancels or releases the
+  micro-operation;
+* the **measurement discrimination unit** starts readouts on the plant
+  and returns (or fabricates, for CFC verification) results which
+  update the Q registers and execution flags after the transport and
+  ingest latencies.
+
+Timeline anchoring: the deterministic-domain timer starts when the
+first timing point's reservation completes (the paper's "external
+trigger" starting the timeline), so the first operation fires as soon
+as the pipeline has filled and all later points keep their programmed
+relative timing.  If a later point is reserved after its trigger was
+due, the machine either raises (``late_policy="strict"``) or stalls the
+timer and records the slip (``"slip"``) — this is the quantum-operation
+issue-rate problem made observable.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.core.assembler import AssembledProgram
+from repro.core.encoding import InstructionDecoder
+from repro.core.errors import (
+    RuntimeFault,
+    TimingViolationError,
+)
+from repro.core.instructions import (
+    ArithOp,
+    Br,
+    Bundle,
+    Cmp,
+    Fbr,
+    Fmr,
+    Instruction,
+    Ld,
+    Ldi,
+    Ldui,
+    LogicalOp,
+    Nop,
+    Not,
+    QWait,
+    QWaitR,
+    SMIS,
+    SMIT,
+    St,
+    Stop,
+)
+from repro.core.isa import EQASMInstantiation
+from repro.core.microcode import MicrocodeUnit, MicroOpRole
+from repro.core.registers import (
+    ComparisonFlags,
+    DataMemory,
+    ExecutionFlagsFile,
+    GPRFile,
+    MeasurementResultRegisters,
+    to_signed32,
+    to_unsigned32,
+)
+from repro.quantum.plant import QuantumPlant
+from repro.uarch.config import UarchConfig
+from repro.uarch.devices import (
+    DeviceEventDistributor,
+    DeviceId,
+    DeviceOperation,
+    EventQueue,
+    PulseLibrary,
+    QubitMicroOp,
+)
+from repro.uarch.measurement import MeasurementUnit, PendingResult
+from repro.uarch.quantum_pipeline import QuantumPipeline, ReservedPoint
+from repro.uarch.trace import (
+    ResultRecord,
+    ShotTrace,
+    SlipRecord,
+    TriggerRecord,
+)
+
+
+#: Events at equal timestamps resolve by priority: measurement results
+#: and the flag/Q-register updates they cause settle within the cycle,
+#: before the timing controller's trigger of that cycle evaluates any
+#: execution flag ("once there returns a measurement result ... the
+#: fast conditional execution unit immediately updates the execution
+#: flags", Section 4.3).
+_EVENT_PRIORITY = {"result": 0, "flag": 1, "qreg": 1, "trigger": 2}
+
+
+@dataclass(order=True)
+class _Event:
+    """A deterministic-domain event, ordered by time, priority, sequence."""
+
+    time_ns: float
+    priority: int
+    sequence: int
+    kind: str = field(compare=False)       # trigger | result | flag | qreg
+    payload: object = field(compare=False, default=None)
+
+
+class QuMAv2:
+    """The microarchitecture simulator.
+
+    Parameters
+    ----------
+    isa:
+        The eQASM instantiation (operation set + topology + widths).
+    plant:
+        The quantum plant behind the ADI.
+    config:
+        Clock/latency/queue parameters; defaults to the calibrated
+        paper-like configuration.
+    """
+
+    def __init__(self, isa: EQASMInstantiation, plant: QuantumPlant,
+                 config: UarchConfig | None = None):
+        self.isa = isa
+        self.plant = plant
+        self.config = config or UarchConfig()
+        self.microcode = MicrocodeUnit(isa.operations)
+        self.quantum_pipeline = QuantumPipeline(isa, self.microcode)
+        self.distributor = DeviceEventDistributor(isa.topology)
+        self.pulses = PulseLibrary(isa.operations)
+        self.measurement_unit = MeasurementUnit(
+            plant, self.config, isa.measurement_cycles)
+        self.gprs = GPRFile(isa.num_gprs)
+        self.comparison_flags = ComparisonFlags()
+        self.memory = DataMemory()
+        self.q_registers = MeasurementResultRegisters(isa.topology.qubits)
+        self.execution_flags = ExecutionFlagsFile(isa.topology.qubits)
+        self._instructions: list[Instruction] = []
+        self._reset_shot_state()
+
+    # ------------------------------------------------------------------
+    # Program loading
+    # ------------------------------------------------------------------
+    def load(self, program: AssembledProgram | list[int]) -> None:
+        """Load a binary into the instruction memory.
+
+        Accepts either an :class:`AssembledProgram` or raw 32-bit words;
+        words are decoded through the instantiation's decoder, so the
+        machine genuinely runs the binary encoding.
+        """
+        if isinstance(program, AssembledProgram):
+            words = program.words
+        else:
+            words = list(program)
+        decoder = InstructionDecoder(self.isa)
+        self._instructions = [decoder.decode(word) for word in words]
+
+    # ------------------------------------------------------------------
+    # Shot state
+    # ------------------------------------------------------------------
+    def _reset_shot_state(self) -> None:
+        self._pc = 0
+        self._classical_time_ns = 0.0
+        self._events: list[_Event] = []
+        self._event_sequence = itertools.count()
+        self._timeline_origin_ns: float | None = None
+        self._outstanding_triggers = 0
+        self._pending_pairs: dict[tuple[int, tuple[int, int]], set] = {}
+        self._last_qreg_write_ns: dict[int, float] = {}
+        self._device_queues: dict[DeviceId, EventQueue] = {}
+        self._trace = ShotTrace()
+
+    def reset_shot(self) -> None:
+        """Reset everything that does not persist across shots.
+
+        Data memory persists (it is the host communication channel);
+        mock measurement results persist (they model UHFQC programming,
+        configured once per experiment).
+        """
+        self._reset_shot_state()
+        self.plant.reset_shot()
+        self.quantum_pipeline.reset()
+        self.gprs.reset()
+        self.comparison_flags = ComparisonFlags()
+        self.q_registers.reset()
+        self.execution_flags.reset()
+
+    # ------------------------------------------------------------------
+    # Shot execution
+    # ------------------------------------------------------------------
+    def run_shot(self, max_instructions: int = 2_000_000) -> ShotTrace:
+        """Execute the loaded program once and return its trace."""
+        if not self._instructions:
+            raise RuntimeFault("no program loaded")
+        self.reset_shot()
+        trace = self._trace
+        while trace.instructions_executed < max_instructions:
+            if self._pc < 0 or self._pc >= len(self._instructions):
+                break  # fell off the end: implicit stop
+            instruction = self._instructions[self._pc]
+            self._drain_events_until(self._classical_time_ns)
+            if isinstance(instruction, Stop):
+                trace.stop_reached = True
+                trace.instructions_executed += 1
+                break
+            self._execute(instruction)
+            trace.instructions_executed += 1
+        else:
+            raise RuntimeFault(
+                f"instruction limit ({max_instructions}) exceeded — "
+                f"runaway program?")
+        # End of program: flush the last buffered timing point and
+        # drain every remaining deterministic-domain event.
+        flushed = self.quantum_pipeline.flush_pending()
+        if flushed is not None:
+            self._schedule_point(flushed)
+        self._drain_all_events()
+        trace.classical_time_ns = self._classical_time_ns
+        return trace
+
+    def run(self, shots: int, max_instructions: int = 2_000_000
+            ) -> list[ShotTrace]:
+        """Execute the program ``shots`` times (fresh state per shot)."""
+        return [self.run_shot(max_instructions) for _ in range(shots)]
+
+    # ------------------------------------------------------------------
+    # Classical pipeline
+    # ------------------------------------------------------------------
+    def _advance_clock(self, cycles: int = 1) -> None:
+        self._classical_time_ns += cycles * self.config.classical_cycle_ns
+
+    def _execute(self, instruction: Instruction) -> None:
+        """Execute one instruction; updates PC and the classical clock."""
+        config = self.config
+        next_pc = self._pc + 1
+        if isinstance(instruction, Nop):
+            pass
+        elif isinstance(instruction, Cmp):
+            self.comparison_flags.update(self.gprs.read(instruction.rs),
+                                         self.gprs.read(instruction.rt))
+        elif isinstance(instruction, Br):
+            if isinstance(instruction.target, str):
+                raise RuntimeFault(
+                    f"unresolved branch label {instruction.target!r}")
+            if self.comparison_flags.test(instruction.condition):
+                next_pc = self._pc + instruction.target
+                self._advance_clock(config.branch_taken_penalty_cycles)
+        elif isinstance(instruction, Fbr):
+            value = int(self.comparison_flags.test(instruction.condition))
+            self.gprs.write(instruction.rd, value)
+        elif isinstance(instruction, Ldi):
+            self.gprs.write(instruction.rd, to_unsigned32(instruction.imm))
+        elif isinstance(instruction, Ldui):
+            low = self.gprs.read(instruction.rs) & 0x1FFFF
+            value = ((instruction.imm & 0x7FFF) << 17) | low
+            self.gprs.write(instruction.rd, value)
+        elif isinstance(instruction, Ld):
+            address = to_unsigned32(
+                self.gprs.read(instruction.rt) + instruction.imm)
+            self.gprs.write(instruction.rd, self.memory.load(address))
+        elif isinstance(instruction, St):
+            address = to_unsigned32(
+                self.gprs.read(instruction.rt) + instruction.imm)
+            self.memory.store(address, self.gprs.read(instruction.rs))
+        elif isinstance(instruction, Fmr):
+            self._execute_fmr(instruction)
+        elif isinstance(instruction, LogicalOp):
+            s = self.gprs.read(instruction.rs)
+            t = self.gprs.read(instruction.rt)
+            if instruction.mnemonic_name == "AND":
+                result = s & t
+            elif instruction.mnemonic_name == "OR":
+                result = s | t
+            else:
+                result = s ^ t
+            self.gprs.write(instruction.rd, result)
+        elif isinstance(instruction, Not):
+            self.gprs.write(instruction.rd,
+                            ~self.gprs.read(instruction.rt))
+        elif isinstance(instruction, ArithOp):
+            s = self.gprs.read(instruction.rs)
+            t = self.gprs.read(instruction.rt)
+            if instruction.mnemonic_name == "ADD":
+                result = s + t
+            else:
+                result = s - t
+            self.gprs.write(instruction.rd, result)
+        elif isinstance(instruction, QWait):
+            self._process_wait(instruction.cycles)
+        elif isinstance(instruction, QWaitR):
+            value = self.gprs.read(instruction.rs)
+            # Only the low 20 bits participate (Section 4.2).
+            self._process_wait(value & ((1 << 20) - 1))
+        elif isinstance(instruction, SMIS):
+            self.quantum_pipeline.process_smis(instruction)
+        elif isinstance(instruction, SMIT):
+            self.quantum_pipeline.process_smit(instruction)
+        elif isinstance(instruction, Bundle):
+            self._process_bundle(instruction)
+        else:
+            raise RuntimeFault(
+                f"unhandled instruction {type(instruction).__name__}")
+        self._advance_clock()
+        self._pc = next_pc
+
+    def _execute_fmr(self, instruction: Fmr) -> None:
+        """FMR with the CFC stall: wait until C_i reaches zero.
+
+        A stalled FMR is a completion signal for the operation
+        combination buffer: the in-order classical pipeline cannot feed
+        the quantum pipeline another bundle until the stall resolves, so
+        the buffered timing point (e.g. the measurement this FMR waits
+        on) is flushed downstream first.
+        """
+        register = self.q_registers.register(instruction.qubit)
+        if not register.valid:
+            pending_point = self.quantum_pipeline.flush_pending()
+            if pending_point is not None:
+                self._schedule_point(pending_point)
+        while not register.valid:
+            if not self._events:
+                raise RuntimeFault(
+                    f"FMR R{instruction.rd}, Q{instruction.qubit} waits "
+                    f"forever: no measurement result will ever arrive")
+            self._process_event(heapq.heappop(self._events))
+        write_time = self._last_qreg_write_ns.get(instruction.qubit)
+        if write_time is not None and write_time > self._classical_time_ns:
+            self._classical_time_ns = (
+                write_time + self.config.fmr_resync_ns +
+                self.config.fmr_unstall_penalty_cycles *
+                self.config.classical_cycle_ns)
+        self.gprs.write(instruction.rd, register.value)
+
+    # ------------------------------------------------------------------
+    # Quantum instruction handling (reserve phase)
+    # ------------------------------------------------------------------
+    def _process_wait(self, cycles: int) -> None:
+        flushed = self.quantum_pipeline.process_wait(cycles)
+        if flushed is not None:
+            self._schedule_point(flushed)
+
+    def _process_bundle(self, bundle: Bundle) -> None:
+        flushed, new_entries = self.quantum_pipeline.process_bundle(
+            bundle, self._classical_time_ns)
+        if flushed is not None:
+            self._schedule_point(flushed)
+        # Measurement issue invalidates the Q register immediately
+        # (Section 3.6, step 1).
+        for entry in new_entries:
+            if entry.micro_op.is_measurement:
+                self.q_registers.register(entry.qubit).on_measure_issued()
+
+    def _schedule_point(self, point: ReservedPoint) -> None:
+        """Timing-queue insertion: compute the trigger time and enqueue."""
+        config = self.config
+        reserve_done = (point.reserved_at_ns +
+                        config.quantum_pipeline_depth_cycles *
+                        config.classical_cycle_ns)
+        if self._timeline_origin_ns is None:
+            self._timeline_origin_ns = (
+                reserve_done - point.cycle * config.quantum_cycle_ns)
+        due = (self._timeline_origin_ns +
+               point.cycle * config.quantum_cycle_ns)
+        if reserve_done > due + 1e-9:
+            if config.late_policy == "strict":
+                raise TimingViolationError(
+                    f"timing point at cycle {point.cycle} reserved "
+                    f"{reserve_done - due:.1f} ns after its trigger time "
+                    f"(Rreq exceeds Rallowed)")
+            # Slip policy: the timer stalls until the event arrives; all
+            # later points are delayed by the same amount.
+            self._trace.slips.append(SlipRecord(
+                cycle=point.cycle, due_ns=due, actual_ns=reserve_done))
+            self._timeline_origin_ns += reserve_done - due
+            due = reserve_done
+        # Timing-queue backpressure: a full queue stalls the reserve
+        # phase until the controller catches up.
+        while self._outstanding_triggers >= config.timing_queue_depth:
+            if not self._events:
+                break
+            event = heapq.heappop(self._events)
+            self._classical_time_ns = max(self._classical_time_ns,
+                                          event.time_ns)
+            self._process_event(event)
+        for device_op in self.distributor.distribute(point.cycle,
+                                                     point.micro_ops):
+            queue = self._device_queues.setdefault(
+                device_op.device, EventQueue(config.event_queue_depth))
+            # Per-device event-queue backpressure (Fig. 9's FIFOs).
+            while queue.full and self._events:
+                event = heapq.heappop(self._events)
+                self._classical_time_ns = max(self._classical_time_ns,
+                                              event.time_ns)
+                self._process_event(event)
+            queue.push(device_op)
+            self._push_event(due, "trigger", device_op)
+            self._outstanding_triggers += 1
+
+    # ------------------------------------------------------------------
+    # Deterministic-domain event machinery
+    # ------------------------------------------------------------------
+    def _push_event(self, time_ns: float, kind: str, payload) -> None:
+        heapq.heappush(self._events, _Event(
+            time_ns=time_ns, priority=_EVENT_PRIORITY[kind],
+            sequence=next(self._event_sequence), kind=kind,
+            payload=payload))
+
+    def _drain_events_until(self, time_ns: float) -> None:
+        while self._events and self._events[0].time_ns <= time_ns:
+            self._process_event(heapq.heappop(self._events))
+
+    def _drain_all_events(self) -> None:
+        while self._events:
+            self._process_event(heapq.heappop(self._events))
+
+    def _process_event(self, event: _Event) -> None:
+        if event.kind == "trigger":
+            self._outstanding_triggers -= 1
+            self._trigger_device_operation(event.time_ns, event.payload)
+        elif event.kind == "result":
+            self._on_result_arrival(event.time_ns, event.payload)
+        elif event.kind == "flag":
+            pending: PendingResult = event.payload
+            self.execution_flags.on_result(pending.qubit,
+                                           pending.reported_result)
+        elif event.kind == "qreg":
+            pending = event.payload
+            self.q_registers.register(pending.qubit).on_result(
+                pending.reported_result)
+            self._last_qreg_write_ns[pending.qubit] = event.time_ns
+        else:
+            raise RuntimeFault(f"unknown event kind {event.kind}")
+
+    # ------------------------------------------------------------------
+    # Trigger phase: FCE + pulse generation + measurement start
+    # ------------------------------------------------------------------
+    def _trigger_device_operation(self, time_ns: float,
+                                  device_op: DeviceOperation) -> None:
+        config = self.config
+        # The timing controller consumes the device's event queue in
+        # FIFO order; triggers are chronological per device, so the
+        # popped entry must be the one due now.
+        queue = self._device_queues[device_op.device]
+        popped = queue.pop()
+        if popped is not device_op:
+            raise RuntimeFault(
+                f"event queue of {device_op.device} delivered operations "
+                f"out of order")
+        output_ns = (time_ns + config.fce_evaluation_ns +
+                     config.codeword_output_ns)
+        for entry in device_op.micro_ops:
+            micro_op = entry.micro_op
+            passed = self.execution_flags.test(entry.qubit,
+                                               micro_op.condition)
+            self._trace.triggers.append(TriggerRecord(
+                name=micro_op.operation, qubits=(entry.qubit,),
+                cycle=device_op.cycle, trigger_ns=time_ns,
+                output_ns=output_ns, executed=passed,
+                condition=micro_op.condition.name))
+            if not passed:
+                continue
+            if micro_op.is_measurement:
+                self._start_measurement(entry, time_ns)
+            elif micro_op.role is MicroOpRole.SINGLE:
+                self._apply_single(entry, time_ns)
+            else:
+                self._collect_pair_half(entry, device_op.cycle, time_ns)
+
+    def _start_measurement(self, entry: QubitMicroOp,
+                           time_ns: float) -> None:
+        pending = self.measurement_unit.start_measurement(entry.qubit,
+                                                          time_ns)
+        self._push_event(pending.arrival_ns, "result", pending)
+
+    def _on_result_arrival(self, time_ns: float,
+                           pending: PendingResult) -> None:
+        config = self.config
+        self._trace.results.append(ResultRecord(
+            qubit=pending.qubit, raw_result=pending.raw_result,
+            reported_result=pending.reported_result,
+            measure_start_ns=pending.measure_start_ns,
+            arrival_ns=time_ns))
+        # Execution flags refresh after ingest + combinatorial update;
+        # the Q register write crosses into the classical domain.
+        self._push_event(
+            time_ns + config.result_ingest_ns + config.flag_update_ns,
+            "flag", pending)
+        self._push_event(
+            time_ns + config.result_ingest_ns + config.qreg_write_ns,
+            "qreg", pending)
+
+    def _apply_single(self, entry: QubitMicroOp, time_ns: float) -> None:
+        name = entry.micro_op.operation
+        unitary = self.pulses.unitary_for(name)
+        duration = (entry.micro_op.duration_cycles *
+                    self.config.quantum_cycle_ns)
+        self.plant.apply_unitary(name, unitary, (entry.qubit,), time_ns,
+                                 duration)
+
+    def _collect_pair_half(self, entry: QubitMicroOp, cycle: int,
+                           time_ns: float) -> None:
+        """Two-qubit gates: apply the joint unitary when both the
+        source and target micro-operations have been released."""
+        if entry.pair is None:
+            raise RuntimeFault(
+                f"{entry.micro_op.operation} micro-op lacks pair info")
+        key = (cycle, entry.pair)
+        roles = self._pending_pairs.setdefault(key, set())
+        roles.add(entry.micro_op.role)
+        if {MicroOpRole.SOURCE, MicroOpRole.TARGET} <= roles:
+            del self._pending_pairs[key]
+            name = entry.micro_op.operation
+            unitary = self.pulses.unitary_for(name)
+            duration = (entry.micro_op.duration_cycles *
+                        self.config.quantum_cycle_ns)
+            self.plant.apply_unitary(name, unitary, entry.pair, time_ns,
+                                     duration)
+
+    # ------------------------------------------------------------------
+    # Introspection helpers
+    # ------------------------------------------------------------------
+    @property
+    def timeline_origin_ns(self) -> float | None:
+        """Wall time of timeline cycle 0 (None before the first point)."""
+        return self._timeline_origin_ns
+
+    def instruction_memory(self) -> list[Instruction]:
+        """The decoded instruction memory contents."""
+        return list(self._instructions)

@@ -1,0 +1,99 @@
+"""Measurement discrimination unit (Fig. 9, right).
+
+Responsibilities:
+
+* when a measurement device operation triggers, start the readout on
+  the plant (projective collapse at measurement start, busy for the
+  full integration window);
+* apply the classical assignment error of the discrimination
+  electronics to the reported bit;
+* deliver the result back to the Central Controller after the
+  integration window plus the digital-link transport latency —
+  the machine then updates the Q register (CFC) and the execution
+  flags (fast conditional execution);
+* optionally *inject mock results* per qubit, reproducing the paper's
+  CFC verification where "the UHFQC is programmed to generate
+  alternative mock measurement results" without touching real qubits.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import ConfigurationError
+from repro.quantum.plant import QuantumPlant
+from repro.uarch.config import UarchConfig
+
+
+@dataclass(frozen=True)
+class PendingResult:
+    """A measurement in flight: the result and when it arrives."""
+
+    qubit: int
+    raw_result: int
+    reported_result: int
+    measure_start_ns: float
+    arrival_ns: float
+
+
+class MeasurementUnit:
+    """Models the UHFQCs plus the result path into the controller."""
+
+    def __init__(self, plant: QuantumPlant, config: UarchConfig,
+                 measurement_duration_cycles: int = 15):
+        self.plant = plant
+        self.config = config
+        self.measurement_duration_cycles = measurement_duration_cycles
+        self._mock_results: dict[int, deque[int]] = {}
+
+    # ------------------------------------------------------------------
+    # Mock-result injection (CFC verification, Section 5)
+    # ------------------------------------------------------------------
+    def inject_mock_results(self, qubit: int, results) -> None:
+        """Queue mock results for a qubit; they are consumed in order.
+
+        While mock results remain queued for a qubit, measuring it does
+        not involve the plant at all (the UHFQC fabricates the bit).
+        """
+        queue = self._mock_results.setdefault(qubit, deque())
+        for result in results:
+            if result not in (0, 1):
+                raise ConfigurationError(f"mock result {result} not a bit")
+            queue.append(result)
+
+    def has_mock_results(self, qubit: int) -> bool:
+        """Whether fabricated results remain queued for a qubit."""
+        return bool(self._mock_results.get(qubit))
+
+    def clear_mock_results(self) -> None:
+        """Drop all fabricated results (start of a fresh experiment)."""
+        self._mock_results.clear()
+
+    # ------------------------------------------------------------------
+    # Measurement execution
+    # ------------------------------------------------------------------
+    def measurement_duration_ns(self) -> float:
+        """Integration window length in nanoseconds."""
+        return self.measurement_duration_cycles * self.config.quantum_cycle_ns
+
+    def start_measurement(self, qubit: int,
+                          start_ns: float) -> PendingResult:
+        """Begin a readout at ``start_ns``; returns the in-flight result.
+
+        The arrival time is ``start + integration + transport``; the
+        caller schedules the Q-register/flag updates at that time.
+        """
+        duration = self.measurement_duration_ns()
+        if self.has_mock_results(qubit):
+            raw = self._mock_results[qubit].popleft()
+            reported = raw  # mock results bypass the analog chain
+        else:
+            raw = self.plant.measure(qubit, start_ns, duration)
+            reported = self.plant.noise.readout.apply(raw, self.plant.rng)
+        arrival = start_ns + duration + self.config.result_transport_ns
+        return PendingResult(qubit=qubit, raw_result=raw,
+                             reported_result=reported,
+                             measure_start_ns=start_ns, arrival_ns=arrival)

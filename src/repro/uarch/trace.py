@@ -1,0 +1,88 @@
+"""Execution trace records emitted by the microarchitecture.
+
+The records are the observable behaviour the experiments and tests
+consume: which operations actually reached the analog-digital interface
+(and when), which were cancelled by fast conditional execution, what
+every measurement reported, and how far the timing controller slipped
+when the reserve phase fell behind.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class TriggerRecord:
+    """One micro-operation reaching the fast-conditional-execution unit.
+
+    ``executed`` is False when the selected execution flag read '0' and
+    the operation was cancelled.  ``output_ns`` is when the digital
+    output left the controller (used for latency measurements).
+    """
+
+    name: str
+    qubits: tuple[int, ...]
+    cycle: int
+    trigger_ns: float
+    output_ns: float
+    executed: bool
+    condition: str
+
+
+@dataclass(frozen=True)
+class ResultRecord:
+    """One measurement result returning to the Central Controller."""
+
+    qubit: int
+    raw_result: int        # what the plant projected
+    reported_result: int   # after readout assignment error
+    measure_start_ns: float
+    arrival_ns: float      # when the result entered the controller
+
+
+@dataclass(frozen=True)
+class SlipRecord:
+    """The timing controller stalled waiting for a late reservation."""
+
+    cycle: int
+    due_ns: float
+    actual_ns: float
+
+    @property
+    def slip_ns(self) -> float:
+        """How late the trigger fired relative to the timeline."""
+        return self.actual_ns - self.due_ns
+
+
+@dataclass
+class ShotTrace:
+    """Everything observed during one shot."""
+
+    triggers: list[TriggerRecord] = field(default_factory=list)
+    results: list[ResultRecord] = field(default_factory=list)
+    slips: list[SlipRecord] = field(default_factory=list)
+    instructions_executed: int = 0
+    classical_time_ns: float = 0.0
+    stop_reached: bool = False
+
+    def executed_operations(self) -> list[TriggerRecord]:
+        """Triggers that actually drove the ADI (not cancelled)."""
+        return [record for record in self.triggers if record.executed]
+
+    def cancelled_operations(self) -> list[TriggerRecord]:
+        """Triggers cancelled by fast conditional execution."""
+        return [record for record in self.triggers if not record.executed]
+
+    def results_for(self, qubit: int) -> list[ResultRecord]:
+        """Measurement results of one qubit, in time order."""
+        return [record for record in self.results if record.qubit == qubit]
+
+    def last_result(self, qubit: int) -> int | None:
+        """The final reported result of a qubit, or None."""
+        records = self.results_for(qubit)
+        return records[-1].reported_result if records else None
+
+    def max_slip_ns(self) -> float:
+        """Worst timing slippage in the shot (0 when on time)."""
+        return max((record.slip_ns for record in self.slips), default=0.0)

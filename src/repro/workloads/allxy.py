@@ -1,0 +1,101 @@
+"""The AllXY calibration sequence (Fig. 3 / Fig. 11).
+
+AllXY applies 21 pairs of gates drawn from {I, X, Y, X90, Y90} to a
+qubit prepared in |0> and measures it.  The expected outcomes form the
+characteristic staircase: the first five pairs leave the qubit in |0>
+(F_|1> = 0), the middle twelve in an equal superposition (0.5), and the
+final four in |1> (1.0) — "highly sensitive to gate errors".
+
+The two-qubit variant of Section 5 runs both qubits simultaneously with
+the sequence modified "to distinguish the qubits on which it is
+applied: each gate pair in the sequence is repeated on the first qubit
+while the entire sequence is repeated on the second qubit", giving a
+42-step sequence whose expectation doubles each staircase plateau for
+qubit 0 and repeats the 21-step staircase twice for qubit 2.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.ir import Circuit
+
+#: The canonical 21 AllXY gate pairs with their ideal F_|1>.
+ALLXY_PAIRS: list[tuple[str, str, float]] = [
+    ("I", "I", 0.0),
+    ("X", "X", 0.0),
+    ("Y", "Y", 0.0),
+    ("X", "Y", 0.0),
+    ("Y", "X", 0.0),
+    ("X90", "I", 0.5),
+    ("Y90", "I", 0.5),
+    ("X90", "Y90", 0.5),
+    ("Y90", "X90", 0.5),
+    ("X90", "Y", 0.5),
+    ("Y90", "X", 0.5),
+    ("X", "Y90", 0.5),
+    ("Y", "X90", 0.5),
+    ("X90", "X", 0.5),
+    ("X", "X90", 0.5),
+    ("Y90", "Y", 0.5),
+    ("Y", "Y90", 0.5),
+    ("X", "I", 1.0),
+    ("Y", "I", 1.0),
+    ("X90", "X90", 1.0),
+    ("Y90", "Y90", 1.0),
+]
+
+
+def allxy_ideal_staircase() -> list[float]:
+    """The 21 ideal F_|1> values (the red line of Fig. 11)."""
+    return [expected for _, _, expected in ALLXY_PAIRS]
+
+
+def allxy_single_qubit_circuit(step: int, qubit: int = 0,
+                               num_qubits: int = 1) -> Circuit:
+    """One AllXY step: the pair applied to one qubit, then MEASZ."""
+    first, second, _ = ALLXY_PAIRS[step]
+    circuit = Circuit(name=f"allxy-{step}", num_qubits=num_qubits)
+    circuit.add(first, qubit)
+    circuit.add(second, qubit)
+    circuit.add("MEASZ", qubit)
+    return circuit
+
+
+def two_qubit_allxy_steps(qubit_a: int = 0, qubit_b: int = 2
+                          ) -> list[tuple[int, int]]:
+    """The 42 (step_a, step_b) index pairs of the two-qubit AllXY.
+
+    Qubit A repeats each gate pair (0,0,1,1,...,20,20); qubit B repeats
+    the whole sequence (0..20, 0..20).  Gate-pair combination ``i`` of
+    Fig. 11 therefore runs pair ``i // 2`` on A and pair ``i % 21`` on B.
+    """
+    steps = []
+    for i in range(42):
+        steps.append((i // 2, i % 21))
+    return steps
+
+
+def allxy_two_qubit_circuit(step: int, qubit_a: int = 0, qubit_b: int = 2,
+                            num_qubits: int = 3) -> Circuit:
+    """One two-qubit AllXY step (Fig. 3's code is step 29 of this).
+
+    Both qubits receive their gate pair simultaneously and are measured
+    together (SOMQ-friendly: the compiler merges equal gates and the
+    measurement into masked operations).
+    """
+    step_a, step_b = two_qubit_allxy_steps(qubit_a, qubit_b)[step]
+    first_a, second_a, _ = ALLXY_PAIRS[step_a]
+    first_b, second_b, _ = ALLXY_PAIRS[step_b]
+    circuit = Circuit(name=f"allxy2q-{step}", num_qubits=num_qubits)
+    circuit.add(first_a, qubit_a)
+    circuit.add(first_b, qubit_b)
+    circuit.add(second_a, qubit_a)
+    circuit.add(second_b, qubit_b)
+    circuit.add("MEASZ", qubit_a)
+    circuit.add("MEASZ", qubit_b)
+    return circuit
+
+
+def allxy_two_qubit_expected(step: int) -> tuple[float, float]:
+    """Ideal (F_|1> qubit A, F_|1> qubit B) for a two-qubit step."""
+    step_a, step_b = two_qubit_allxy_steps()[step]
+    return ALLXY_PAIRS[step_a][2], ALLXY_PAIRS[step_b][2]

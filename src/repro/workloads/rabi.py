@@ -1,0 +1,53 @@
+"""Rabi-oscillation calibration workload (Section 5).
+
+"The Rabi oscillation applies an x-rotation pulse on the qubit after
+initialization and then measures it.  A sequence of fixed-length
+x-rotation pulses with variable amplitudes are used.  Each pulse ...
+is configured to be an operation X_Amp_i in eQASM."
+
+This module generates the amplitude-sweep circuits over the
+``X_AMP_<i>`` operations registered by
+:func:`repro.core.operations.add_rabi_amplitude_operations` and the
+ideal reference curve ``P(1) = sin^2(theta_i / 2)``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.compiler.ir import Circuit
+
+
+def rabi_step_circuit(step: int, qubit: int = 2,
+                      num_qubits: int = 3) -> Circuit:
+    """One Rabi point: the X_AMP_<step> pulse then a measurement."""
+    circuit = Circuit(name=f"rabi-{step}", num_qubits=num_qubits)
+    circuit.add(f"X_AMP_{step}", qubit)
+    circuit.add("MEASZ", qubit)
+    return circuit
+
+
+def rabi_ideal_curve(num_steps: int,
+                     max_angle: float = 2.0 * math.pi) -> list[float]:
+    """Ideal excited-state population per amplitude step."""
+    curve = []
+    for step in range(num_steps):
+        angle = max_angle * step / (num_steps - 1)
+        curve.append(math.sin(angle / 2.0) ** 2)
+    return curve
+
+
+def fit_pi_pulse_step(populations: list[float]) -> int:
+    """Calibration outcome: the step whose pulse best implements X.
+
+    The amplitude step with the highest measured excited-state
+    population is the calibrated pi-pulse — the quantity the Rabi
+    experiment exists to find.
+    """
+    best_step = 0
+    best_value = -1.0
+    for step, value in enumerate(populations):
+        if value > best_value:
+            best_step = step
+            best_value = value
+    return best_step

@@ -1,0 +1,86 @@
+"""Randomized-benchmarking sequence generation (Figs. 7 and 12).
+
+Two uses in the paper:
+
+* **DSE workload** (Section 4.2): "Each qubit is subject to 4096
+  single-qubit Clifford gates which have been decomposed into x and y
+  rotations.  Because every gate happens immediately following the
+  previous one" — independent per-qubit random streams, back to back,
+  maximally parallel across qubits.
+* **Experiment** (Section 5 / Fig. 12): sequences of k random Cliffords
+  plus the recovery Clifford, run for several k and several intervals
+  between gate starting points, fit to an exponential decay.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compiler.ir import Circuit
+from repro.workloads.clifford import (
+    Clifford,
+    random_clifford_sequence,
+    recovery_clifford,
+)
+
+
+def rb_sequence_circuit(num_cliffords: int, rng: np.random.Generator,
+                        qubit: int = 0, num_qubits: int = 1,
+                        include_recovery: bool = True,
+                        include_measurement: bool = True) -> Circuit:
+    """One RB sequence on one qubit as a primitive-gate circuit.
+
+    ``num_cliffords`` random Cliffords, the recovery Clifford, and a
+    final measurement; every Clifford is expanded into its x/y
+    primitive decomposition.
+    """
+    circuit = Circuit(name=f"rb-k{num_cliffords}", num_qubits=num_qubits)
+    sequence = random_clifford_sequence(num_cliffords, rng)
+    if include_recovery:
+        sequence = sequence + [recovery_clifford(sequence)]
+    for clifford in sequence:
+        for primitive in clifford.decomposition:
+            circuit.add(primitive, qubit)
+    if include_measurement:
+        circuit.add("MEASZ", qubit)
+    return circuit
+
+
+def rb_primitive_count(sequence: list[Clifford]) -> int:
+    """Physical pulses in a Clifford sequence."""
+    return sum(clifford.num_primitives for clifford in sequence)
+
+
+def rb_dse_circuit(num_qubits: int = 7, cliffords_per_qubit: int = 4096,
+                   seed: int = 2019) -> Circuit:
+    """The Fig. 7 RB workload: independent streams on every qubit.
+
+    Per-qubit random Clifford streams are expanded to primitives and
+    interleaved *by primitive index*: primitive ``i`` of every qubit
+    shares one timing point, reproducing "every gate happens
+    immediately following the previous one" with maximal cross-qubit
+    parallelism (the streams have different lengths, so later points
+    thin out — exactly the behaviour an ASAP schedule produces).
+    """
+    rng = np.random.default_rng(seed)
+    streams: list[list[str]] = []
+    for _ in range(num_qubits):
+        sequence = random_clifford_sequence(cliffords_per_qubit, rng)
+        primitives = [name for clifford in sequence
+                      for name in clifford.decomposition]
+        streams.append(primitives)
+    circuit = Circuit(name="rb-dse", num_qubits=num_qubits)
+    depth = max(len(stream) for stream in streams)
+    for position in range(depth):
+        for qubit, stream in enumerate(streams):
+            if position < len(stream):
+                circuit.add(stream[position], qubit)
+    return circuit
+
+
+def survival_reference(num_cliffords: int,
+                       error_per_clifford: float) -> float:
+    """Ideal RB decay model: p(k) = 0.5 + 0.5 * f^k with
+    f = 1 - 2 * error_per_clifford (depolarizing parameter for d=2)."""
+    decay = 1.0 - 2.0 * error_per_clifford
+    return 0.5 + 0.5 * decay ** num_cliffords

@@ -1,0 +1,188 @@
+"""Tests for the DSE configurations and the QuMIS baseline."""
+
+import pytest
+
+from repro.compiler import (
+    Circuit,
+    DSE_CONFIGS,
+    QuMISGenerator,
+    count_for_config,
+    effective_ops_per_bundle,
+    get_config,
+    required_issue_rate,
+    schedule_asap,
+    sweep,
+)
+from repro.core.errors import ConfigurationError
+from repro.core.operations import default_operation_set
+
+
+@pytest.fixture(scope="module")
+def ops():
+    return default_operation_set()
+
+
+@pytest.fixture(scope="module")
+def parallel_schedule(ops):
+    """Four qubits, identical gates: SOMQ-friendly."""
+    circuit = Circuit("par", 4)
+    for _ in range(8):
+        for qubit in range(4):
+            circuit.add("X", qubit)
+        for qubit in range(4):
+            circuit.add("Y", qubit)
+    return schedule_asap(circuit, ops)
+
+
+@pytest.fixture(scope="module")
+def serial_schedule(ops):
+    """One qubit, long waits: ts-mode sensitive."""
+    circuit = Circuit("ser", 1)
+    for _ in range(10):
+        circuit.add("X", 0)
+        circuit.add("MEASZ", 0)  # produces 15-cycle gaps
+    return schedule_asap(circuit, ops)
+
+
+class TestConfigTable:
+    def test_ten_configs(self):
+        assert sorted(DSE_CONFIGS) == list(range(1, 11))
+
+    def test_paper_parameters(self):
+        assert get_config(1).timing == "ts1"
+        assert get_config(2).timing == "ts2"
+        for number, pi_width in ((3, 1), (4, 2), (5, 3), (6, 4)):
+            config = get_config(number)
+            assert config.timing == "ts3"
+            assert config.pi_width == pi_width
+            assert not config.somq
+        for number, pi_width in ((7, 1), (8, 2), (9, 3), (10, 4)):
+            config = get_config(number)
+            assert config.pi_width == pi_width
+            assert config.somq
+
+    def test_ts2_excludes_w1(self):
+        assert get_config(2).valid_widths() == [2, 3, 4]
+        assert get_config(1).valid_widths() == [1, 2, 3, 4]
+
+    def test_unknown_config(self):
+        with pytest.raises(ConfigurationError):
+            get_config(11)
+
+    def test_invalid_width_rejected(self, parallel_schedule):
+        with pytest.raises(ConfigurationError):
+            count_for_config(parallel_schedule, 2, 1)
+
+    def test_labels(self):
+        assert "SOMQ" in get_config(9).label()
+        assert "wPI=3" in get_config(9).label()
+
+
+class TestSweepShape:
+    """The qualitative claims of Section 4.2 on synthetic schedules."""
+
+    def test_wider_vliw_never_increases(self, parallel_schedule):
+        results = sweep(parallel_schedule)
+        for config in DSE_CONFIGS.values():
+            widths = config.valid_widths()
+            counts = [results[(config.number, w)] for w in widths]
+            assert all(a >= b for a, b in zip(counts, counts[1:]))
+
+    def test_somq_helps_parallel_identical_gates(self, parallel_schedule):
+        results = sweep(parallel_schedule)
+        for width in (1, 2, 4):
+            assert results[(9, width)] <= results[(5, width)]
+
+    def test_ts2_beats_ts1(self, serial_schedule):
+        results = sweep(serial_schedule)
+        for width in (2, 3, 4):
+            assert results[(2, width)] < results[(1, width)]
+
+    def test_wider_pi_helps_serial(self, serial_schedule):
+        # 15-cycle gaps: only wPI=4 absorbs them into the PI field.
+        results = sweep(serial_schedule)
+        assert results[(6, 1)] < results[(3, 1)]
+
+    def test_config1_w1_is_worst(self, parallel_schedule,
+                                 serial_schedule):
+        for schedule in (parallel_schedule, serial_schedule):
+            results = sweep(schedule)
+            baseline = results[(1, 1)]
+            assert all(count <= baseline for count in results.values())
+
+
+class TestEffectiveOps:
+    def test_effective_ops_bounded_by_width(self, serial_schedule):
+        for width in (2, 3, 4):
+            value = effective_ops_per_bundle(serial_schedule, 9, width)
+            assert 0 < value
+
+    def test_parallel_beats_serial(self, parallel_schedule,
+                                   serial_schedule):
+        par = effective_ops_per_bundle(parallel_schedule, 9, 2)
+        ser = effective_ops_per_bundle(serial_schedule, 9, 2)
+        assert par > ser
+
+
+class TestQuMIS:
+    def test_stream_structure(self, ops):
+        circuit = Circuit("t", 2).add("X", 0).add("X", 1).add("CZ", 0, 1)
+        schedule = schedule_asap(circuit, ops)
+        generator = QuMISGenerator(ops)
+        stream = generator.generate(schedule)
+        mnemonics = [ins.mnemonic for ins in stream]
+        # wait + 2 pulses at point 0, wait + trigger at point 1.
+        assert mnemonics == ["wait", "pulse", "pulse", "wait", "trigger"]
+
+    def test_measure_per_qubit(self, ops):
+        circuit = Circuit("t", 2).add("MEASZ", 0).add("MEASZ", 1)
+        schedule = schedule_asap(circuit, ops)
+        stream = QuMISGenerator(ops).generate(schedule)
+        assert [i.mnemonic for i in stream] == ["wait", "measure",
+                                                "measure"]
+
+    def test_count_equals_stream_length(self, parallel_schedule, ops):
+        generator = QuMISGenerator(ops)
+        assert generator.count_instructions(parallel_schedule) == \
+            len(generator.generate(parallel_schedule))
+
+    def test_quimis_matches_config1_w1_shape(self, parallel_schedule,
+                                             ops):
+        # QuMIS = per-qubit instructions + per-point wait: identical to
+        # Config 1 at w=1 for single-qubit-only schedules.
+        quimis = QuMISGenerator(ops).count_instructions(parallel_schedule)
+        config1 = count_for_config(parallel_schedule, 1, 1)
+        assert quimis == config1
+
+    def test_assembly_rendering(self, ops):
+        circuit = Circuit("t", 1).add("X90", 0)
+        schedule = schedule_asap(circuit, ops)
+        text = QuMISGenerator(ops).to_assembly(schedule)
+        assert "pulse x90, q0" in text
+
+    def test_issue_rate_above_one_for_dense_quimis(self, ops):
+        # 4 qubits back-to-back: QuMIS needs 5 instructions per 20 ns
+        # point but can only issue 2.
+        circuit = Circuit("t", 4)
+        for _ in range(10):
+            for qubit in range(4):
+                circuit.add("X", qubit)
+        schedule = schedule_asap(circuit, ops)
+        count = QuMISGenerator(ops).count_instructions(schedule)
+        ratio = required_issue_rate(schedule, ops, count)
+        assert ratio > 1.0
+
+    def test_issue_rate_below_one_for_eqasm(self, ops):
+        circuit = Circuit("t", 4)
+        for _ in range(10):
+            for qubit in range(4):
+                circuit.add("X", qubit)
+        schedule = schedule_asap(circuit, ops)
+        count = count_for_config(schedule, 9, 2)
+        ratio = required_issue_rate(schedule, ops, count)
+        assert ratio <= 1.0
+
+    def test_empty_schedule_rate_zero(self, ops):
+        circuit = Circuit("t", 1)
+        schedule = schedule_asap(circuit, ops)
+        assert required_issue_rate(schedule, ops, 0) == 0.0

@@ -1,0 +1,163 @@
+"""Tests for the cQASM-style frontend."""
+
+import pytest
+
+from repro.compiler.frontend import parse_cqasm
+from repro.core.errors import ParseError
+
+
+class TestBasicParsing:
+    def test_qubits_declaration(self):
+        circuit = parse_cqasm("qubits 3")
+        assert circuit.num_qubits == 3
+        assert len(circuit) == 0
+
+    def test_version_line_ignored(self):
+        circuit = parse_cqasm("version 1.0\nqubits 2\nx q[0]")
+        assert len(circuit) == 1
+
+    def test_single_gate(self):
+        circuit = parse_cqasm("qubits 2\nx q[0]")
+        assert circuit.operations[0].name == "X"
+        assert circuit.operations[0].qubits == (0,)
+
+    def test_two_qubit_gate(self):
+        circuit = parse_cqasm("qubits 3\ncz q[0], q[2]")
+        op = circuit.operations[0]
+        assert op.name == "CZ"
+        assert op.qubits == (0, 2)
+
+    def test_cnot(self):
+        circuit = parse_cqasm("qubits 2\ncnot q[1], q[0]")
+        assert circuit.operations[0].qubits == (1, 0)
+
+    def test_whole_register(self):
+        circuit = parse_cqasm("qubits 3\nh q")
+        assert len(circuit) == 3
+        assert {op.qubits[0] for op in circuit} == {0, 1, 2}
+
+    def test_measure(self):
+        circuit = parse_cqasm("qubits 2\nmeasure q[1]")
+        assert circuit.operations[0].name == "MEASZ"
+
+    def test_measure_all(self):
+        circuit = parse_cqasm("qubits 3\nmeasure_all")
+        assert len(circuit) == 3
+        assert all(op.name == "MEASZ" for op in circuit)
+
+    def test_comments_and_blank_lines(self):
+        circuit = parse_cqasm("""
+        # a Bell pair
+        qubits 2
+
+        h q[0]      # superposition
+        cnot q[0], q[1]
+        """)
+        assert [op.name for op in circuit] == ["H", "CNOT"]
+
+    def test_kernel_headers_skipped(self):
+        circuit = parse_cqasm("""
+        qubits 2
+        .init
+        x q[0]
+        .measure_kernel(3)
+        measure q[0]
+        """)
+        assert [op.name for op in circuit] == ["X", "MEASZ"]
+
+    def test_parallel_group(self):
+        circuit = parse_cqasm("qubits 2\n{ x q[0] | y q[1] }")
+        assert [op.name for op in circuit] == ["X", "Y"]
+
+
+class TestRotations:
+    def test_rx_half_pi(self):
+        circuit = parse_cqasm("qubits 1\nrx(pi/2) q[0]")
+        assert circuit.operations[0].name == "X90"
+
+    def test_rx_negative_half_pi(self):
+        circuit = parse_cqasm("qubits 1\nrx(-pi/2) q[0]")
+        assert circuit.operations[0].name == "XM90"
+
+    def test_ry_pi(self):
+        circuit = parse_cqasm("qubits 1\nry(pi) q[0]")
+        assert circuit.operations[0].name == "Y"
+
+    def test_three_half_pi_normalises(self):
+        # 3*pi/2 == -pi/2 (mod 2*pi).
+        circuit = parse_cqasm("qubits 1\nry(3*pi/2) q[0]")
+        assert circuit.operations[0].name == "YM90"
+
+    def test_rz_pi_compiles_to_pulse_pair(self):
+        circuit = parse_cqasm("qubits 1\nrz(pi) q[0]")
+        assert [op.name for op in circuit] == ["Y", "X"]
+
+    def test_unquantised_angle_rejected(self):
+        with pytest.raises(ParseError):
+            parse_cqasm("qubits 1\nrx(0.123) q[0]")
+
+    def test_rz_arbitrary_angle_rejected(self):
+        with pytest.raises(ParseError):
+            parse_cqasm("qubits 1\nrz(pi/2) q[0]")
+
+
+class TestErrors:
+    def test_statement_before_qubits(self):
+        with pytest.raises(ParseError):
+            parse_cqasm("x q[0]\nqubits 2")
+
+    def test_duplicate_qubits(self):
+        with pytest.raises(ParseError):
+            parse_cqasm("qubits 2\nqubits 3")
+
+    def test_no_qubits_at_all(self):
+        with pytest.raises(ParseError):
+            parse_cqasm("# nothing")
+
+    def test_unknown_gate(self):
+        with pytest.raises(ParseError):
+            parse_cqasm("qubits 1\nfoo q[0]")
+
+    def test_bad_operand(self):
+        with pytest.raises(ParseError):
+            parse_cqasm("qubits 1\nx qubit0")
+
+    def test_cz_needs_two_operands(self):
+        with pytest.raises(ParseError):
+            parse_cqasm("qubits 2\ncz q[0]")
+
+    def test_out_of_range_qubit(self):
+        with pytest.raises(Exception):
+            parse_cqasm("qubits 2\nx q[5]")
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_cqasm("qubits 2\nx q[0]\nfoo q[1]")
+        assert excinfo.value.line_number == 3
+
+
+class TestEndToEnd:
+    def test_bell_pair_through_full_stack(self):
+        """cQASM -> IR -> schedule -> eQASM -> binary -> machine."""
+        from repro.experiments.runner import ExperimentSetup
+        from repro.quantum import NoiseModel
+        text = """
+        version 1.0
+        qubits 3
+        .bell
+        y90 q[0]
+        cz q[0], q[2]
+        # decode into a correlated-measurement basis
+        my90 q[2]
+        measure q[0]
+        measure q[2]
+        """
+        circuit = parse_cqasm(text)
+        setup = ExperimentSetup.create(noise=NoiseModel.noiseless(),
+                                       seed=8)
+        traces = setup.run_circuit(circuit, shots=40)
+        # |0+> -CZ-> product state; the exact correlation value is not
+        # the point — the pipeline must execute and measure both qubits.
+        for trace in traces:
+            assert trace.last_result(0) in (0, 1)
+            assert trace.last_result(2) in (0, 1)

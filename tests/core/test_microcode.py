@@ -1,0 +1,69 @@
+"""Tests for the microcode unit (Q control store)."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.core.microcode import (
+    DeviceKind,
+    MicroOpRole,
+    MicrocodeUnit,
+)
+from repro.core.operations import ExecutionFlag, default_operation_set
+
+
+@pytest.fixture(scope="module")
+def unit():
+    return MicrocodeUnit(default_operation_set())
+
+
+class TestTranslation:
+    def test_single_qubit_yields_one_micro_op(self, unit):
+        micro_ops = unit.translate_name("X90")
+        assert len(micro_ops) == 1
+        assert micro_ops[0].role is MicroOpRole.SINGLE
+        assert micro_ops[0].device is DeviceKind.MICROWAVE
+
+    def test_two_qubit_yields_source_and_target(self, unit):
+        # Section 4.3: "two micro-operations (labeled u_op_src and
+        # u_op_tgt) for a two-qubit operation".
+        micro_ops = unit.translate_name("CZ")
+        assert len(micro_ops) == 2
+        assert micro_ops[0].role is MicroOpRole.SOURCE
+        assert micro_ops[1].role is MicroOpRole.TARGET
+        assert all(m.device is DeviceKind.FLUX for m in micro_ops)
+
+    def test_measurement_routed_to_measurement_device(self, unit):
+        micro_ops = unit.translate_name("MEASZ")
+        assert len(micro_ops) == 1
+        assert micro_ops[0].is_measurement
+        assert micro_ops[0].device is DeviceKind.MEASUREMENT
+
+    def test_qnop_is_empty(self, unit):
+        assert unit.translate(0) == ()
+
+    def test_conditional_flag_propagates(self, unit):
+        micro_ops = unit.translate_name("C_X")
+        assert micro_ops[0].condition is ExecutionFlag.LAST_ONE
+
+    def test_unconditional_flag(self, unit):
+        micro_ops = unit.translate_name("X")
+        assert micro_ops[0].condition is ExecutionFlag.ALWAYS
+
+    def test_durations_propagate(self, unit):
+        assert unit.translate_name("MEASZ")[0].duration_cycles == 15
+        assert unit.translate_name("CZ")[0].duration_cycles == 2
+        assert unit.translate_name("X")[0].duration_cycles == 1
+
+    def test_unknown_opcode_raises(self, unit):
+        with pytest.raises(ConfigurationError):
+            unit.translate(0x1FF)
+
+    def test_codewords_unique(self, unit):
+        codewords = []
+        for name in unit.operations.names():
+            for micro_op in unit.translate_name(name):
+                codewords.append(micro_op.codeword)
+        assert len(codewords) == len(set(codewords))
+
+    def test_store_covers_every_operation(self, unit):
+        assert len(unit) == len(unit.operations)

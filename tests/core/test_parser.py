@@ -1,0 +1,300 @@
+"""Tests for the assembly parser."""
+
+import pytest
+
+from repro.core.errors import ParseError
+from repro.core.instructions import (
+    ArithOp,
+    Br,
+    Bundle,
+    Cmp,
+    Fbr,
+    Fmr,
+    Ld,
+    Ldi,
+    Ldui,
+    LogicalOp,
+    Nop,
+    Not,
+    QWait,
+    QWaitR,
+    SMIS,
+    SMIT,
+    St,
+    Stop,
+)
+from repro.core.parser import Parser, parse_program_text
+from repro.core.registers import ComparisonFlag
+
+
+def parse_one(text):
+    line = Parser().parse_line(text, 1)
+    assert line.instruction is not None
+    return line.instruction
+
+
+class TestClassicalParsing:
+    def test_nop(self):
+        assert parse_one("NOP") == Nop()
+
+    def test_stop(self):
+        assert parse_one("STOP") == Stop()
+
+    def test_cmp(self):
+        assert parse_one("CMP R1, R2") == Cmp(rs=1, rt=2)
+
+    def test_br_label(self):
+        assert parse_one("BR EQ, eq_path") == Br(
+            condition=ComparisonFlag.EQ, target="eq_path")
+
+    def test_br_numeric_offset(self):
+        assert parse_one("BR ALWAYS, -3") == Br(
+            condition=ComparisonFlag.ALWAYS, target=-3)
+
+    def test_fbr(self):
+        assert parse_one("FBR LT, R4") == Fbr(condition=ComparisonFlag.LT,
+                                              rd=4)
+
+    def test_ldi(self):
+        assert parse_one("LDI R0, 1") == Ldi(rd=0, imm=1)
+
+    def test_ldi_negative(self):
+        assert parse_one("LDI R0, -100") == Ldi(rd=0, imm=-100)
+
+    def test_ldi_hex(self):
+        assert parse_one("LDI R0, 0x1F") == Ldi(rd=0, imm=31)
+
+    def test_ldui(self):
+        assert parse_one("LDUI R3, 7, R3") == Ldui(rd=3, imm=7, rs=3)
+
+    def test_ld(self):
+        assert parse_one("LD R1, R2(8)") == Ld(rd=1, rt=2, imm=8)
+
+    def test_ld_negative_offset(self):
+        assert parse_one("LD R1, R2(-4)") == Ld(rd=1, rt=2, imm=-4)
+
+    def test_st(self):
+        assert parse_one("ST R5, R6(0)") == St(rs=5, rt=6, imm=0)
+
+    def test_fmr(self):
+        assert parse_one("FMR R1, Q1") == Fmr(rd=1, qubit=1)
+
+    def test_logical(self):
+        assert parse_one("AND R1, R2, R3") == LogicalOp("AND", 1, 2, 3)
+        assert parse_one("OR R1, R2, R3") == LogicalOp("OR", 1, 2, 3)
+        assert parse_one("XOR R1, R2, R3") == LogicalOp("XOR", 1, 2, 3)
+
+    def test_not(self):
+        assert parse_one("NOT R1, R2") == Not(rd=1, rt=2)
+
+    def test_arith(self):
+        assert parse_one("ADD R1, R2, R3") == ArithOp("ADD", 1, 2, 3)
+        assert parse_one("SUB R1, R2, R3") == ArithOp("SUB", 1, 2, 3)
+
+    def test_case_insensitive(self):
+        assert parse_one("ldi r0, 1") == Ldi(rd=0, imm=1)
+
+    def test_wrong_arity_raises(self):
+        with pytest.raises(ParseError):
+            parse_one("CMP R1")
+
+    def test_bad_memory_operand(self):
+        with pytest.raises(ParseError):
+            parse_one("LD R1, 8(R2)")
+
+    def test_bad_flag_name(self):
+        with pytest.raises(ParseError):
+            parse_one("BR NOSUCH, 2")
+
+
+class TestWaitingParsing:
+    def test_qwait(self):
+        assert parse_one("QWAIT 10000") == QWait(cycles=10000)
+
+    def test_qwait_zero(self):
+        assert parse_one("QWAIT 0") == QWait(cycles=0)
+
+    def test_qwaitr(self):
+        assert parse_one("QWAITR R0") == QWaitR(rs=0)
+
+    def test_qwait_missing_operand(self):
+        with pytest.raises(ParseError):
+            parse_one("QWAIT")
+
+
+class TestTargetParsing:
+    def test_smis_single(self):
+        assert parse_one("SMIS S2, {2}") == SMIS(sd=2, qubits=frozenset({2}))
+
+    def test_smis_multi(self):
+        ins = parse_one("SMIS S7, {0, 2}")
+        assert ins == SMIS(sd=7, qubits=frozenset({0, 2}))
+
+    def test_smit(self):
+        ins = parse_one("SMIT T3, {(1, 3), (2, 4)}")
+        assert ins == SMIT(td=3, pairs=frozenset({(1, 3), (2, 4)}))
+
+    def test_smit_single_pair(self):
+        ins = parse_one("SMIT T0, {(2, 0)}")
+        assert ins == SMIT(td=0, pairs=frozenset({(2, 0)}))
+
+    def test_smis_empty_raises(self):
+        with pytest.raises(ParseError):
+            parse_one("SMIS S0, {}")
+
+    def test_smis_needs_braces(self):
+        with pytest.raises(ParseError):
+            parse_one("SMIS S0, 0")
+
+    def test_smit_bad_pair(self):
+        with pytest.raises(ParseError):
+            parse_one("SMIT T0, {(1, 2, 3)}")
+
+
+class TestBundleParsing:
+    def test_bare_operation_defaults_pi_1(self):
+        bundle = parse_one("Y S7")
+        assert isinstance(bundle, Bundle)
+        assert bundle.pi == 1
+        assert not bundle.explicit_pi
+        assert bundle.operations[0].name == "Y"
+        assert bundle.operations[0].register == ("S", 7)
+
+    def test_explicit_pi(self):
+        bundle = parse_one("0, Y S7")
+        assert bundle.pi == 0
+        assert bundle.explicit_pi
+
+    def test_vliw_bundle(self):
+        bundle = parse_one("1, X90 S0 | X S2")
+        assert bundle.pi == 1
+        assert [op.name for op in bundle.operations] == ["X90", "X"]
+
+    def test_two_qubit_target(self):
+        bundle = parse_one("CNOT T3")
+        assert bundle.operations[0].register == ("T", 3)
+
+    def test_qnop(self):
+        bundle = parse_one("0, CNOT T3 | QNOP")
+        assert bundle.operations[1].name == "QNOP"
+        assert bundle.operations[1].register is None
+
+    def test_triple_bundle(self):
+        bundle = parse_one("2, X S5 | H S7 | CNOT T3")
+        assert len(bundle.operations) == 3
+        assert bundle.pi == 2
+
+    def test_operation_names_uppercased(self):
+        bundle = parse_one("x90 s0")
+        assert bundle.operations[0].name == "X90"
+        assert bundle.operations[0].register == ("S", 0)
+
+    def test_custom_operation_name(self):
+        bundle = parse_one("X_AMP_17 S0")
+        assert bundle.operations[0].name == "X_AMP_17"
+
+    def test_conditional_operation(self):
+        bundle = parse_one("C_X S2")
+        assert bundle.operations[0].name == "C_X"
+
+    def test_negative_pi_raises(self):
+        with pytest.raises(ParseError):
+            parse_one("-1, X S0")
+
+    def test_empty_slot_raises(self):
+        with pytest.raises(ParseError):
+            parse_one("X S0 | | Y S1")
+
+    def test_garbage_raises(self):
+        with pytest.raises(ParseError):
+            parse_one("X S0 Y S1")
+
+
+class TestLinesAndLabels:
+    def test_comment_only_line(self):
+        line = Parser().parse_line("# a comment", 1)
+        assert line.instruction is None
+        assert line.labels == ()
+
+    def test_label_alone(self):
+        line = Parser().parse_line("loop:", 1)
+        assert line.labels == ("loop",)
+        assert line.instruction is None
+
+    def test_label_with_instruction(self):
+        line = Parser().parse_line("start: LDI R0, 5", 1)
+        assert line.labels == ("start",)
+        assert line.instruction == Ldi(rd=0, imm=5)
+
+    def test_trailing_comment(self):
+        line = Parser().parse_line("LDI R0, 1 # r0 <- 1", 1)
+        assert line.instruction == Ldi(rd=0, imm=1)
+
+    def test_multiple_labels(self):
+        line = Parser().parse_line("a: b: NOP", 1)
+        assert line.labels == ("a", "b")
+
+    def test_parse_error_carries_line_number(self):
+        with pytest.raises(ParseError) as excinfo:
+            Parser().parse_text("NOP\nBADLINE ,,,\n")
+        assert excinfo.value.line_number == 2
+
+
+class TestFullListings:
+    def test_fig3_allxy_fragment(self):
+        text = """
+        SMIS S0, {0}
+        SMIS S2, {2}
+        SMIS S7, {0, 2}
+        QWAIT 10000
+        0, Y S7
+        1, X90 S0 | X S2
+        1, MEASZ S7
+        QWAIT 50
+        """
+        lines = parse_program_text(text)
+        instructions = [line.instruction for line in lines]
+        assert len(instructions) == 8
+        assert isinstance(instructions[4], Bundle)
+        assert instructions[4].pi == 0
+
+    def test_fig4_active_reset(self):
+        text = """
+        SMIS S2, {2}
+        QWAIT 10000
+        X90 S2
+        MEASZ S2
+        QWAIT 50
+        C_X S2
+        MEASZ S2
+        """
+        lines = parse_program_text(text)
+        assert len(lines) == 7
+        names = [line.instruction.operations[0].name
+                 for line in lines
+                 if isinstance(line.instruction, Bundle)]
+        assert names == ["X90", "MEASZ", "C_X", "MEASZ"]
+
+    def test_fig5_cfc_program(self):
+        text = """
+        SMIS S0, {0}
+        SMIS S1, {1}
+        LDI R0, 1
+        MEASZ S1
+        QWAIT 30
+        FMR R1, Q1  # fetch msmt result
+        CMP R1, R0  # compare
+        BR EQ, eq_path  # jump if R0 == R1
+        ne_path:
+        X S0
+        BR ALWAYS, next
+        eq_path:
+        Y S0
+        next:
+        """
+        lines = parse_program_text(text)
+        labels = [label for line in lines for label in line.labels]
+        assert labels == ["ne_path", "eq_path", "next"]
+        instructions = [line.instruction for line in lines
+                        if line.instruction is not None]
+        assert len(instructions) == 11

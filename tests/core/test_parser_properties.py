@@ -1,0 +1,110 @@
+"""Property-based round trips: instruction -> assembly text -> parse."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.instructions import (
+    ArithOp,
+    Br,
+    Bundle,
+    BundleOperation,
+    Cmp,
+    Fbr,
+    Fmr,
+    Ld,
+    Ldi,
+    Ldui,
+    LogicalOp,
+    Nop,
+    Not,
+    QWait,
+    QWaitR,
+    SMIS,
+    SMIT,
+    St,
+    Stop,
+)
+from repro.core.parser import Parser
+from repro.core.program import Program
+from repro.core.registers import ComparisonFlag
+
+gpr = st.integers(min_value=0, max_value=31)
+flag = st.sampled_from(list(ComparisonFlag))
+qubit = st.integers(min_value=0, max_value=6)
+op_names = st.sampled_from(["X", "Y", "X90", "MEASZ", "C_X", "H",
+                            "X_AMP_3"])
+
+
+@st.composite
+def instructions(draw):
+    kind = draw(st.integers(0, 13))
+    if kind == 0:
+        return Nop()
+    if kind == 1:
+        return Stop()
+    if kind == 2:
+        return Cmp(rs=draw(gpr), rt=draw(gpr))
+    if kind == 3:
+        return Br(condition=draw(flag),
+                  target=draw(st.integers(-1000, 1000)))
+    if kind == 4:
+        return Fbr(condition=draw(flag), rd=draw(gpr))
+    if kind == 5:
+        return Ldi(rd=draw(gpr),
+                   imm=draw(st.integers(-(1 << 19), (1 << 19) - 1)))
+    if kind == 6:
+        return Ldui(rd=draw(gpr), imm=draw(st.integers(0, (1 << 15) - 1)),
+                    rs=draw(gpr))
+    if kind == 7:
+        return Ld(rd=draw(gpr), rt=draw(gpr),
+                  imm=draw(st.integers(-(1 << 14), (1 << 14) - 1)))
+    if kind == 8:
+        return St(rs=draw(gpr), rt=draw(gpr),
+                  imm=draw(st.integers(-(1 << 14), (1 << 14) - 1)))
+    if kind == 9:
+        return Fmr(rd=draw(gpr), qubit=draw(qubit))
+    if kind == 10:
+        name = draw(st.sampled_from(["AND", "OR", "XOR"]))
+        return LogicalOp(name, rd=draw(gpr), rs=draw(gpr), rt=draw(gpr))
+    if kind == 11:
+        return QWait(cycles=draw(st.integers(0, (1 << 20) - 1)))
+    if kind == 12:
+        return SMIS(sd=draw(gpr),
+                    qubits=frozenset(draw(st.sets(qubit, min_size=1,
+                                                  max_size=7))))
+    operations = tuple(
+        BundleOperation(name=draw(op_names),
+                        register=("S", draw(gpr)))
+        for _ in range(draw(st.integers(1, 3))))
+    return Bundle(operations=operations, pi=draw(st.integers(0, 7)),
+                  explicit_pi=True)
+
+
+class TestParsePrintRoundTrip:
+    @given(instructions())
+    @settings(max_examples=300, deadline=None)
+    def test_print_then_parse_is_identity(self, instruction):
+        text = instruction.to_assembly()
+        parsed = Parser().parse_line(text, 1).instruction
+        assert parsed == instruction
+
+    @given(st.lists(instructions(), min_size=1, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_program_level_round_trip(self, instruction_list):
+        program = Program(instructions=list(instruction_list))
+        reparsed = Program.from_text(program.to_assembly())
+        assert reparsed.instructions == program.instructions
+
+    def test_smit_round_trip(self):
+        # SMIT separately (pairs need valid-looking tuples).
+        instruction = SMIT(td=3, pairs=frozenset({(2, 0), (1, 3)}))
+        parsed = Parser().parse_line(instruction.to_assembly(), 1)
+        assert parsed.instruction == instruction
+
+    def test_implicit_pi_round_trip_semantics(self):
+        # "Y S7" prints without PI and reparses with the same default.
+        bundle = Bundle(operations=(BundleOperation("Y", ("S", 7)),),
+                        pi=1, explicit_pi=False)
+        parsed = Parser().parse_line(bundle.to_assembly(), 1).instruction
+        assert parsed.pi == 1
+        assert parsed.operations == bundle.operations

@@ -1,0 +1,236 @@
+"""Tests for the architectural register files."""
+
+import pytest
+
+from repro.core.errors import InvalidAddressError
+from repro.core.operations import ExecutionFlag
+from repro.core.registers import (
+    ComparisonFlag,
+    ComparisonFlags,
+    DataMemory,
+    ExecutionFlagsFile,
+    GPRFile,
+    MeasurementResultRegisters,
+    TargetRegisterFile,
+    to_signed32,
+    to_unsigned32,
+)
+
+
+class TestConversions:
+    def test_to_signed32(self):
+        assert to_signed32(0xFFFFFFFF) == -1
+        assert to_signed32(0x7FFFFFFF) == 2147483647
+        assert to_signed32(0x80000000) == -2147483648
+        assert to_signed32(5) == 5
+
+    def test_to_unsigned32(self):
+        assert to_unsigned32(-1) == 0xFFFFFFFF
+        assert to_unsigned32(1 << 35) == 0
+
+
+class TestGPRFile:
+    def test_initial_zero(self):
+        gprs = GPRFile()
+        assert gprs.read(31) == 0
+
+    def test_write_read(self):
+        gprs = GPRFile()
+        gprs.write(3, 1234)
+        assert gprs.read(3) == 1234
+
+    def test_write_wraps_32_bits(self):
+        gprs = GPRFile()
+        gprs.write(0, -1)
+        assert gprs.read(0) == 0xFFFFFFFF
+        assert gprs.read_signed(0) == -1
+
+    def test_out_of_range(self):
+        gprs = GPRFile()
+        with pytest.raises(InvalidAddressError):
+            gprs.read(32)
+        with pytest.raises(InvalidAddressError):
+            gprs.write(-1, 0)
+
+    def test_reset(self):
+        gprs = GPRFile()
+        gprs.write(5, 99)
+        gprs.reset()
+        assert gprs.read(5) == 0
+
+
+class TestComparisonFlags:
+    def test_initial_state_compares_zero(self):
+        flags = ComparisonFlags()
+        assert flags.test(ComparisonFlag.ALWAYS)
+        assert flags.test(ComparisonFlag.EQ)
+        assert not flags.test(ComparisonFlag.NEVER)
+
+    def test_equal_values(self):
+        flags = ComparisonFlags()
+        flags.update(7, 7)
+        assert flags.test(ComparisonFlag.EQ)
+        assert not flags.test(ComparisonFlag.NE)
+        assert flags.test(ComparisonFlag.GE)
+        assert flags.test(ComparisonFlag.LE)
+        assert not flags.test(ComparisonFlag.LT)
+        assert not flags.test(ComparisonFlag.GT)
+
+    def test_signed_vs_unsigned(self):
+        flags = ComparisonFlags()
+        flags.update(to_unsigned32(-1), 1)
+        # Signed: -1 < 1.  Unsigned: 0xFFFFFFFF > 1.
+        assert flags.test(ComparisonFlag.LT)
+        assert flags.test(ComparisonFlag.GTU)
+        assert not flags.test(ComparisonFlag.LTU)
+        assert not flags.test(ComparisonFlag.GE)
+
+    def test_always_never_invariant(self):
+        flags = ComparisonFlags()
+        flags.update(3, 9)
+        assert flags.test(ComparisonFlag.ALWAYS)
+        assert not flags.test(ComparisonFlag.NEVER)
+
+
+class TestTargetRegisterFile:
+    def test_write_read_mask(self):
+        regs = TargetRegisterFile("S", 32, 7)
+        regs.write(7, 0b0000101)
+        assert regs.read(7) == 0b0000101
+
+    def test_mask_width_enforced(self):
+        regs = TargetRegisterFile("S", 32, 7)
+        with pytest.raises(InvalidAddressError):
+            regs.write(0, 1 << 7)
+
+    def test_address_range(self):
+        regs = TargetRegisterFile("T", 32, 16)
+        with pytest.raises(InvalidAddressError):
+            regs.read(32)
+
+    def test_reset(self):
+        regs = TargetRegisterFile("S", 4, 7)
+        regs.write(1, 3)
+        regs.reset()
+        assert regs.read(1) == 0
+
+
+class TestMeasurementResultRegisters:
+    def test_validity_counter_lifecycle(self):
+        regs = MeasurementResultRegisters((0, 2))
+        register = regs.register(2)
+        assert register.valid
+        register.on_measure_issued()
+        assert not register.valid
+        register.on_result(1)
+        assert register.valid
+        assert register.value == 1
+
+    def test_two_pending_measurements(self):
+        regs = MeasurementResultRegisters((0,))
+        register = regs.register(0)
+        register.on_measure_issued()
+        register.on_measure_issued()
+        register.on_result(0)
+        assert not register.valid  # one result still outstanding
+        register.on_result(1)
+        assert register.valid
+        assert register.value == 1
+
+    def test_spurious_result_raises(self):
+        regs = MeasurementResultRegisters((0,))
+        with pytest.raises(InvalidAddressError):
+            regs.register(0).on_result(1)
+
+    def test_unknown_qubit(self):
+        regs = MeasurementResultRegisters((0,))
+        with pytest.raises(InvalidAddressError):
+            regs.register(5)
+
+    def test_reset(self):
+        regs = MeasurementResultRegisters((0,))
+        register = regs.register(0)
+        register.on_measure_issued()
+        register.on_result(1)
+        regs.reset()
+        assert regs.register(0).value == 0
+        assert regs.register(0).valid
+
+
+class TestExecutionFlagsFile:
+    def test_always_flag_without_history(self):
+        flags = ExecutionFlagsFile((0, 2))
+        assert flags.test(0, ExecutionFlag.ALWAYS)
+        assert not flags.test(0, ExecutionFlag.LAST_ONE)
+        assert not flags.test(0, ExecutionFlag.LAST_ZERO)
+        assert not flags.test(0, ExecutionFlag.LAST_TWO_EQUAL)
+
+    def test_last_one(self):
+        flags = ExecutionFlagsFile((0,))
+        flags.on_result(0, 1)
+        assert flags.test(0, ExecutionFlag.LAST_ONE)
+        assert not flags.test(0, ExecutionFlag.LAST_ZERO)
+
+    def test_last_zero(self):
+        flags = ExecutionFlagsFile((0,))
+        flags.on_result(0, 0)
+        assert flags.test(0, ExecutionFlag.LAST_ZERO)
+        assert not flags.test(0, ExecutionFlag.LAST_ONE)
+
+    def test_last_two_equal(self):
+        flags = ExecutionFlagsFile((0,))
+        flags.on_result(0, 1)
+        assert not flags.test(0, ExecutionFlag.LAST_TWO_EQUAL)
+        flags.on_result(0, 1)
+        assert flags.test(0, ExecutionFlag.LAST_TWO_EQUAL)
+        flags.on_result(0, 0)
+        assert not flags.test(0, ExecutionFlag.LAST_TWO_EQUAL)
+
+    def test_per_qubit_independence(self):
+        flags = ExecutionFlagsFile((0, 2))
+        flags.on_result(0, 1)
+        assert flags.test(0, ExecutionFlag.LAST_ONE)
+        assert not flags.test(2, ExecutionFlag.LAST_ONE)
+
+    def test_unknown_qubit(self):
+        flags = ExecutionFlagsFile((0,))
+        with pytest.raises(InvalidAddressError):
+            flags.test(9, ExecutionFlag.ALWAYS)
+
+    def test_reset(self):
+        flags = ExecutionFlagsFile((0,))
+        flags.on_result(0, 1)
+        flags.reset()
+        assert not flags.test(0, ExecutionFlag.LAST_ONE)
+
+
+class TestDataMemory:
+    def test_load_default_zero(self):
+        memory = DataMemory()
+        assert memory.load(0) == 0
+
+    def test_store_load(self):
+        memory = DataMemory()
+        memory.store(4, 0xDEADBEEF)
+        assert memory.load(4) == 0xDEADBEEF
+
+    def test_store_wraps(self):
+        memory = DataMemory()
+        memory.store(0, -1)
+        assert memory.load(0) == 0xFFFFFFFF
+
+    def test_unaligned_raises(self):
+        memory = DataMemory()
+        with pytest.raises(InvalidAddressError):
+            memory.load(2)
+
+    def test_out_of_range(self):
+        memory = DataMemory(size_bytes=16)
+        with pytest.raises(InvalidAddressError):
+            memory.store(16, 1)
+
+    def test_reset(self):
+        memory = DataMemory()
+        memory.store(8, 5)
+        memory.reset()
+        assert memory.load(8) == 0

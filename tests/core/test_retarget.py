@@ -1,0 +1,166 @@
+"""Tests for timing stripping and cross-platform retargeting."""
+
+import pytest
+
+from repro.core import (
+    Assembler,
+    AssemblyError,
+    Program,
+    extract_semantics,
+    retarget_program,
+    seven_qubit_instantiation,
+    two_qubit_instantiation,
+)
+from repro.core.timeline import build_timeline
+
+FIG3_TEXT = """
+SMIS S0, {0}
+SMIS S2, {2}
+SMIS S7, {0, 2}
+QWAIT 10000
+0, Y S7
+1, X90 S0 | X S2
+1, MEASZ S7
+QWAIT 50
+"""
+
+
+@pytest.fixture(scope="module")
+def two_qubit_isa():
+    return two_qubit_instantiation()
+
+
+@pytest.fixture(scope="module")
+def seven_qubit_isa():
+    return seven_qubit_instantiation()
+
+
+class TestExtractSemantics:
+    def test_fig3_semantics(self, two_qubit_isa):
+        program = Program.from_text(FIG3_TEXT)
+        circuit = extract_semantics(program, two_qubit_isa)
+        names = [op.name for op in circuit]
+        # Timing stripped, order preserved, SOMQ expanded.
+        assert names == ["Y", "Y", "X90", "X", "MEASZ", "MEASZ"]
+
+    def test_qubit_map_renames(self, two_qubit_isa):
+        program = Program.from_text(FIG3_TEXT)
+        circuit = extract_semantics(program, two_qubit_isa,
+                                    qubit_map={0: 0, 2: 1})
+        assert circuit.used_qubits() == (0, 1)
+
+    def test_feedback_program_rejected(self, two_qubit_isa):
+        program = Program.from_text("""
+        SMIS S2, {2}
+        MEASZ S2
+        FMR R0, Q2
+        """)
+        with pytest.raises(AssemblyError):
+            extract_semantics(program, two_qubit_isa)
+
+    def test_branch_program_rejected(self, two_qubit_isa):
+        program = Program.from_text("""
+        here:
+        BR ALWAYS, here
+        """)
+        with pytest.raises(AssemblyError):
+            extract_semantics(program, two_qubit_isa)
+
+    def test_qwaitr_rejected(self, two_qubit_isa):
+        program = Program.from_text("QWAITR R0")
+        with pytest.raises(AssemblyError):
+            extract_semantics(program, two_qubit_isa)
+
+    def test_two_qubit_gates_extracted_as_pairs(self, two_qubit_isa):
+        program = Program.from_text("""
+        SMIT T0, {(0, 2)}
+        CZ T0
+        """)
+        circuit = extract_semantics(program, two_qubit_isa)
+        assert circuit.operations[0].name == "CZ"
+        assert circuit.operations[0].qubits == (0, 2)
+
+
+class TestRetargetProgram:
+    def test_two_qubit_to_seven_qubit(self, two_qubit_isa,
+                                      seven_qubit_isa):
+        # The two-qubit chip's qubits {0, 2} exist on the surface-7
+        # chip with (0, 2)... but (0, 2) is not an allowed pair there;
+        # map onto the allowed pair (2, 0) endpoints instead.
+        program = Program.from_text(FIG3_TEXT)
+        ported = retarget_program(program, two_qubit_isa,
+                                  seven_qubit_isa,
+                                  qubit_map={0: 0, 2: 3})
+        # Program assembles for the new instantiation.
+        assembled = Assembler(seven_qubit_isa).assemble_program(ported)
+        assert len(assembled.words) > 0
+        # And its timeline carries the same operations.
+        timeline = build_timeline(seven_qubit_isa, ported.instructions)
+        names = sorted(op.name for _, op in timeline.all_operations())
+        assert names == ["MEASZ", "X", "X90", "Y"]
+
+    def test_retarget_preserves_operation_multiset(self, two_qubit_isa,
+                                                   seven_qubit_isa):
+        program = Program.from_text(FIG3_TEXT)
+        before = extract_semantics(program, two_qubit_isa)
+        ported = retarget_program(program, two_qubit_isa,
+                                  seven_qubit_isa,
+                                  qubit_map={0: 1, 2: 4})
+        after = extract_semantics(ported, seven_qubit_isa)
+        assert sorted(op.name for op in before) == \
+            sorted(op.name for op in after)
+
+    def test_cz_retarget_respects_topology(self, two_qubit_isa,
+                                           seven_qubit_isa):
+        program = Program.from_text("""
+        SMIT T0, {(2, 0)}
+        CZ T0
+        """)
+        # (2, 0) is allowed on both chips: identity map works.
+        ported = retarget_program(program, two_qubit_isa,
+                                  seven_qubit_isa)
+        Assembler(seven_qubit_isa).assemble_program(ported)
+
+    def test_illegal_pair_rejected(self, two_qubit_isa,
+                                   seven_qubit_isa):
+        program = Program.from_text("""
+        SMIT T0, {(0, 2)}
+        CZ T0
+        """)
+        # (0, 2) exists on the two-qubit chip but maps to qubits (0, 6)
+        # which are not coupled on surface-7.
+        with pytest.raises(AssemblyError):
+            retarget_program(program, two_qubit_isa, seven_qubit_isa,
+                             qubit_map={0: 0, 2: 6})
+
+    def test_unknown_qubit_rejected(self, seven_qubit_isa,
+                                    two_qubit_isa):
+        program = Program.from_text("""
+        SMIS S0, {5}
+        X S0
+        """)
+        # Qubit 5 exists on surface-7 but not on the two-qubit chip.
+        with pytest.raises(AssemblyError):
+            retarget_program(program, seven_qubit_isa, two_qubit_isa)
+
+    def test_retargeted_program_runs(self, two_qubit_isa,
+                                     seven_qubit_isa):
+        import numpy as np
+        from repro.quantum import NoiseModel, QuantumPlant
+        from repro.uarch import QuMAv2
+        program = Program.from_text(FIG3_TEXT)
+        ported = retarget_program(program, two_qubit_isa,
+                                  seven_qubit_isa,
+                                  qubit_map={0: 1, 2: 4},
+                                  initialize_cycles=200)
+        assembled = Assembler(seven_qubit_isa).assemble_program(ported)
+        plant = QuantumPlant(seven_qubit_isa.topology,
+                             noise=NoiseModel.noiseless(),
+                             rng=np.random.default_rng(0))
+        machine = QuMAv2(seven_qubit_isa, plant)
+        machine.load(assembled)
+        trace = machine.run_shot()
+        # Y then X on qubit 4 -> back to |0>; Y then X90 on qubit 1 ->
+        # equal superposition measured as 0 or 1.
+        assert trace.last_result(4) == 0
+        assert trace.last_result(1) in (0, 1)

@@ -1,0 +1,108 @@
+"""Tests for the T1 / Ramsey coherence experiments."""
+
+import pytest
+
+from repro.experiments.coherence import (
+    format_coherence_report,
+    run_ramsey_experiment,
+    run_t1_experiment,
+)
+from repro.quantum.noise import (
+    DecoherenceModel,
+    GateErrorModel,
+    NoiseModel,
+    ReadoutErrorModel,
+)
+from repro.workloads.coherence import (
+    echo_program,
+    ramsey_program,
+    ramsey_reference,
+    sweep_waits,
+    t1_program,
+    t1_reference,
+)
+
+
+def fast_decay_model(t1_ns=2000.0, t2_ns=1500.0):
+    """A short-coherence model so sweeps decay within few us."""
+    return NoiseModel(
+        decoherence=DecoherenceModel(t1_ns=t1_ns, t2_ns=t2_ns),
+        readout=ReadoutErrorModel(0.0, 0.0),
+        gate_error=GateErrorModel(0.0, 0.0))
+
+
+class TestPrograms:
+    def test_t1_program_structure(self):
+        program = t1_program(2, wait_cycles=100)
+        text = program.to_assembly()
+        assert "QWAIT 100" in text
+        assert "X S0" in text
+        assert "MEASZ S0" in text
+
+    def test_ramsey_program_structure(self):
+        text = ramsey_program(2, wait_cycles=64).to_assembly()
+        assert text.count("X90 S0") == 2
+        assert "QWAIT 64" in text
+
+    def test_echo_program_has_refocusing_pulse(self):
+        text = echo_program(2, wait_cycles=100).to_assembly()
+        # Two half-waits around the refocusing X (plus the trailing
+        # measurement wait, which happens to be 50 cycles as well).
+        assert text.count("QWAIT 50") == 3
+        assert "0, X S0" in text
+        assert text.count("X90 S0") == 2
+
+    def test_sweep_waits_monotone(self):
+        waits = sweep_waits(4096, 8)
+        assert waits == sorted(set(waits))
+        assert waits[0] >= 1
+
+    def test_sweep_needs_two_points(self):
+        with pytest.raises(ValueError):
+            sweep_waits(100, 1)
+
+
+class TestReferences:
+    def test_t1_reference(self):
+        assert t1_reference(0.0, 1000.0) == pytest.approx(1.0)
+        assert t1_reference(1000.0, 1000.0) == pytest.approx(
+            pytest.approx(0.3679, abs=1e-3))
+
+    def test_ramsey_reference_limits(self):
+        model = DecoherenceModel(t1_ns=2000.0, t2_ns=1500.0)
+        assert ramsey_reference(0.0, model) == pytest.approx(1.0)
+        # Long waits converge to the fully dephased value 0.5 plus a
+        # small T1 relaxation correction.
+        assert ramsey_reference(50000.0, model) == pytest.approx(
+            0.5, abs=0.05)
+
+
+class TestExperiments:
+    def test_t1_fit_recovers_configured_constant(self):
+        result = run_t1_experiment(max_wait_cycles=1024, points=8,
+                                   noise=fast_decay_model())
+        assert result.configured_constant_ns == 2000.0
+        assert result.relative_error < 0.05
+
+    def test_ramsey_fit_recovers_t2(self):
+        result = run_ramsey_experiment(max_wait_cycles=1024, points=8,
+                                       noise=fast_decay_model())
+        assert result.configured_constant_ns == 1500.0
+        assert result.relative_error < 0.15
+
+    def test_default_noise_model_t1(self):
+        result = run_t1_experiment(max_wait_cycles=8192, points=6)
+        assert result.fitted_constant_ns == pytest.approx(40000.0,
+                                                          rel=0.05)
+
+    def test_population_decays_monotonically(self):
+        result = run_t1_experiment(max_wait_cycles=1024, points=8,
+                                   noise=fast_decay_model())
+        assert all(a >= b - 1e-9 for a, b in
+                   zip(result.populations, result.populations[1:]))
+
+    def test_report_formatting(self):
+        result = run_t1_experiment(max_wait_cycles=256, points=4,
+                                   noise=fast_decay_model())
+        report = format_coherence_report("T1", result)
+        assert "fitted T1" in report

@@ -1,0 +1,239 @@
+"""Tests of the classical pipeline: every auxiliary instruction of
+Table 1 executed on the machine."""
+
+import numpy as np
+import pytest
+
+from repro.core import Assembler, two_qubit_instantiation
+from repro.core.errors import RuntimeFault
+from repro.core.registers import to_unsigned32
+from repro.quantum import NoiseModel, QuantumPlant
+from repro.uarch import QuMAv2
+
+
+@pytest.fixture()
+def machine():
+    isa = two_qubit_instantiation()
+    plant = QuantumPlant(isa.topology, noise=NoiseModel.noiseless(),
+                         rng=np.random.default_rng(0))
+    return QuMAv2(isa, plant)
+
+
+def run(machine, text, shots=1):
+    isa = machine.isa
+    assembled = Assembler(isa).assemble_text(text)
+    machine.load(assembled)
+    trace = None
+    for _ in range(shots):
+        trace = machine.run_shot()
+    return trace
+
+
+class TestDataTransfer:
+    def test_ldi_positive(self, machine):
+        run(machine, "LDI R0, 42\nSTOP")
+        assert machine.gprs.read(0) == 42
+
+    def test_ldi_negative_sign_extends(self, machine):
+        run(machine, "LDI R1, -1\nSTOP")
+        assert machine.gprs.read(1) == 0xFFFFFFFF
+        assert machine.gprs.read_signed(1) == -1
+
+    def test_ldui_concatenation(self, machine):
+        # Rd = Imm[14..0] :: Rs[16..0] (Table 1).
+        run(machine, "LDI R2, 3\nLDUI R3, 5, R2\nSTOP")
+        assert machine.gprs.read(3) == (5 << 17) | 3
+
+    def test_ldui_builds_large_constant(self, machine):
+        # Standard idiom: LDI low bits, LDUI the high bits.
+        value = 0x12345678
+        low = value & 0x1FFFF
+        high = value >> 17
+        run(machine, f"LDI R0, {low}\nLDUI R0, {high}, R0\nSTOP")
+        assert machine.gprs.read(0) == value
+
+    def test_ld_st_roundtrip(self, machine):
+        run(machine, """
+        LDI R0, 1234
+        LDI R1, 16
+        ST R0, R1(4)
+        LD R2, R1(4)
+        STOP
+        """)
+        assert machine.gprs.read(2) == 1234
+        assert machine.memory.load(20) == 1234
+
+    def test_ld_default_zero(self, machine):
+        run(machine, "LDI R0, 64\nLD R1, R0(0)\nSTOP")
+        assert machine.gprs.read(1) == 0
+
+    def test_fbr_fetches_flag(self, machine):
+        run(machine, """
+        LDI R0, 5
+        LDI R1, 5
+        CMP R0, R1
+        FBR EQ, R2
+        FBR NE, R3
+        STOP
+        """)
+        assert machine.gprs.read(2) == 1
+        assert machine.gprs.read(3) == 0
+
+
+class TestLogicalArithmetic:
+    def test_and_or_xor(self, machine):
+        run(machine, """
+        LDI R0, 12
+        LDI R1, 10
+        AND R2, R0, R1
+        OR R3, R0, R1
+        XOR R4, R0, R1
+        STOP
+        """)
+        assert machine.gprs.read(2) == 12 & 10
+        assert machine.gprs.read(3) == 12 | 10
+        assert machine.gprs.read(4) == 12 ^ 10
+
+    def test_not(self, machine):
+        run(machine, "LDI R0, 0\nNOT R1, R0\nSTOP")
+        assert machine.gprs.read(1) == 0xFFFFFFFF
+
+    def test_add_sub(self, machine):
+        run(machine, """
+        LDI R0, 100
+        LDI R1, 58
+        ADD R2, R0, R1
+        SUB R3, R0, R1
+        SUB R4, R1, R0
+        STOP
+        """)
+        assert machine.gprs.read(2) == 158
+        assert machine.gprs.read(3) == 42
+        assert machine.gprs.read_signed(4) == -42
+
+    def test_add_wraps_32_bits(self, machine):
+        run(machine, """
+        LDI R0, -1
+        LDI R1, 1
+        ADD R2, R0, R1
+        STOP
+        """)
+        assert machine.gprs.read(2) == 0
+
+
+class TestControlFlow:
+    def test_taken_branch_skips(self, machine):
+        run(machine, """
+        LDI R0, 1
+        BR ALWAYS, skip
+        LDI R0, 99
+        skip:
+        STOP
+        """)
+        assert machine.gprs.read(0) == 1
+
+    def test_not_taken_branch_falls_through(self, machine):
+        run(machine, """
+        LDI R0, 1
+        BR NEVER, skip
+        LDI R0, 99
+        skip:
+        STOP
+        """)
+        assert machine.gprs.read(0) == 99
+
+    def test_backward_branch_loop(self, machine):
+        # Count down from 5 using a loop.
+        trace = run(machine, """
+        LDI R0, 5
+        LDI R1, 1
+        LDI R2, 0
+        loop:
+        SUB R0, R0, R1
+        ADD R2, R2, R1
+        CMP R0, R2
+        BR GT, loop
+        STOP
+        """)
+        # Loop runs until R0 <= R2: R0=5-k, R2=k, stop at k=3 (2 < 3).
+        assert machine.gprs.read(2) == 3
+        assert trace.stop_reached
+
+    def test_conditional_branch_on_comparison(self, machine):
+        run(machine, """
+        LDI R0, -5
+        LDI R1, 3
+        CMP R0, R1
+        BR LT, signed_path
+        LDI R5, 1
+        BR ALWAYS, done
+        signed_path:
+        LDI R5, 2
+        done:
+        STOP
+        """)
+        assert machine.gprs.read(5) == 2  # -5 < 3 signed
+
+    def test_unsigned_comparison_path(self, machine):
+        run(machine, """
+        LDI R0, -5
+        LDI R1, 3
+        CMP R0, R1
+        BR LTU, unsigned_small
+        LDI R5, 1
+        BR ALWAYS, done
+        unsigned_small:
+        LDI R5, 2
+        done:
+        STOP
+        """)
+        assert machine.gprs.read(5) == 1  # 0xFFFFFFFB > 3 unsigned
+
+    def test_branch_penalty_costs_time(self, machine):
+        taken = run(machine, "BR ALWAYS, next\nnext:\nSTOP")
+        taken_time = taken.classical_time_ns
+        machine2_isa = machine.isa
+        not_taken = run(machine, "BR NEVER, 1\nSTOP")
+        assert taken_time > not_taken.classical_time_ns
+
+    def test_fell_off_end_is_implicit_stop(self, machine):
+        trace = run(machine, "LDI R0, 7")
+        assert machine.gprs.read(0) == 7
+        assert not trace.stop_reached
+
+    def test_runaway_program_detected(self, machine):
+        with pytest.raises(RuntimeFault):
+            run_text = """
+            loop:
+            BR ALWAYS, loop
+            """
+            assembled = Assembler(machine.isa).assemble_text(run_text)
+            machine.load(assembled)
+            machine.run_shot(max_instructions=1000)
+
+    def test_no_program_loaded(self, machine):
+        with pytest.raises(RuntimeFault):
+            machine.run_shot()
+
+
+class TestShotIsolation:
+    def test_gprs_reset_between_shots(self, machine):
+        run(machine, "ADD R0, R0, R0\nLDI R1, 1\nADD R0, R0, R1\nSTOP",
+            shots=3)
+        # R0 = 0*2 + 1 every shot; no accumulation across shots.
+        assert machine.gprs.read(0) == 1
+
+    def test_memory_persists_between_shots(self, machine):
+        run(machine, """
+        LDI R0, 0
+        LD R1, R0(0)
+        LDI R2, 1
+        ADD R1, R1, R2
+        ST R1, R0(0)
+        STOP
+        """, shots=4)
+        assert machine.memory.load(0) == 4
+
+    def test_instruction_count_recorded(self, machine):
+        trace = run(machine, "NOP\nNOP\nSTOP")
+        assert trace.instructions_executed == 3
