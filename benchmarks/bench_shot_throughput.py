@@ -1,0 +1,169 @@
+"""E15 — shot-replay fast path: compile-once/replay-N throughput.
+
+The Section 5 experiments execute one assembled binary for thousands
+of shots.  This benchmark measures end-to-end shot throughput of the
+full interpreter vs the shot-replay engine
+(:mod:`repro.uarch.replay`) on the two feedback-free workhorse
+programs — the Rabi calibration step and the Fig. 3 AllXY routine —
+and cross-checks that both engines agree on timing and statistics.
+
+Runs two ways:
+
+* under pytest (``pytest benchmarks/bench_shot_throughput.py``) as a
+  regression gate asserting the >= 5x speedup target;
+* as a script (``python benchmarks/bench_shot_throughput.py
+  [--shots N] [--check] [--output BENCH_shot_throughput.json]``) —
+  the recorded numbers live in ``BENCH_shot_throughput.json`` at the
+  repository root.
+"""
+
+import argparse
+import json
+import math
+import sys
+import time
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # script mode without PYTHONPATH=src
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np
+
+from repro.core import Assembler, two_qubit_instantiation
+from repro.quantum import NoiseModel, QuantumPlant
+from repro.uarch import QuMAv2
+
+#: Required end-to-end speedup of replay over the interpreter.
+SPEEDUP_TARGET = 5.0
+
+RABI_PROGRAM = """
+SMIS S2, {2}
+QWAIT 10000
+X90 S2
+MEASZ S2
+QWAIT 50
+STOP
+"""
+
+ALLXY_PROGRAM = """
+SMIS S0, {0}
+SMIS S2, {2}
+SMIS S7, {0, 2}
+QWAIT 10000
+0, Y S7
+1, X90 S0 | X S2
+1, MEASZ S7
+QWAIT 50
+STOP
+"""
+
+PROGRAMS = {"rabi": RABI_PROGRAM, "allxy": ALLXY_PROGRAM}
+
+
+def _make_machine(text: str, seed: int) -> QuMAv2:
+    isa = two_qubit_instantiation()
+    plant = QuantumPlant(isa.topology, noise=NoiseModel(),
+                         rng=np.random.default_rng(seed))
+    machine = QuMAv2(isa, plant)
+    machine.load(Assembler(isa).assemble_text(text))
+    return machine
+
+
+def _time_run(machine: QuMAv2, shots: int, use_replay: bool):
+    start = time.perf_counter()
+    traces = machine.run(shots, use_replay=use_replay)
+    elapsed = time.perf_counter() - start
+    return traces, elapsed
+
+
+def measure_program(name: str, shots: int = 1000, seed: int = 13) -> dict:
+    """Throughput of both engines on one program, with a cross-check."""
+    interpreter = _make_machine(PROGRAMS[name], seed)
+    interp_traces, interp_s = _time_run(interpreter, shots,
+                                        use_replay=False)
+    assert interpreter.last_run_engine == "interpreter"
+
+    replay = _make_machine(PROGRAMS[name], seed)
+    replay_traces, replay_s = _time_run(replay, shots, use_replay=True)
+    assert replay.last_run_engine == "replay", \
+        f"replay refused: {replay.replay_fallback_reason}"
+
+    # Equivalence spot-checks: identical timing records, compatible
+    # measurement statistics.  The tolerance scales with the shot
+    # count (~4.5 sigma of the difference of two p=0.5 samples) so
+    # low-shot smoke runs stay statistically sound.
+    assert interp_traces[0].triggers == replay_traces[-1].triggers
+    assert interp_traces[0].slips == replay_traces[-1].slips
+    tolerance = 4.5 * math.sqrt(0.5 / shots)
+    for qubit in {r.qubit for r in interp_traces[0].results}:
+        interp_p = sum(t.last_result(qubit) for t in interp_traces) / shots
+        replay_p = sum(t.last_result(qubit) for t in replay_traces) / shots
+        assert abs(interp_p - replay_p) < tolerance, \
+            f"{name} qubit {qubit}: {interp_p} vs {replay_p}"
+
+    return {
+        "shots": shots,
+        "interpreter_shots_per_sec": round(shots / interp_s, 1),
+        "replay_shots_per_sec": round(shots / replay_s, 1),
+        "speedup": round(interp_s / replay_s, 2),
+    }
+
+
+def run_benchmark(shots: int = 1000) -> dict:
+    """Measure every program; returns the JSON-ready result tree."""
+    programs = {name: measure_program(name, shots=shots)
+                for name in PROGRAMS}
+    return {
+        "benchmark": "bench_shot_throughput",
+        "description": "interpreter vs shot-replay engine, "
+                       "feedback-free programs, end-to-end shots/sec",
+        "speedup_target": SPEEDUP_TARGET,
+        "programs": programs,
+        "min_speedup": min(entry["speedup"]
+                           for entry in programs.values()),
+    }
+
+
+# ----------------------------------------------------------------------
+# pytest entry points
+# ----------------------------------------------------------------------
+def test_replay_speedup_rabi():
+    result = measure_program("rabi", shots=1000)
+    print(f"\nrabi: {result}")
+    assert result["speedup"] >= SPEEDUP_TARGET
+
+
+def test_replay_speedup_allxy():
+    result = measure_program("allxy", shots=1000)
+    print(f"\nallxy: {result}")
+    assert result["speedup"] >= SPEEDUP_TARGET
+
+
+# ----------------------------------------------------------------------
+# script entry point
+# ----------------------------------------------------------------------
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--shots", type=int, default=1000)
+    parser.add_argument("--check", action="store_true",
+                        help="exit non-zero unless the speedup target "
+                             "is met")
+    parser.add_argument("--output", type=Path, default=None,
+                        help="write the result JSON to this path")
+    args = parser.parse_args()
+    result = run_benchmark(shots=args.shots)
+    print(json.dumps(result, indent=2))
+    if args.output is not None:
+        args.output.write_text(json.dumps(result, indent=2) + "\n")
+        print(f"wrote {args.output}")
+    if args.check and result["min_speedup"] < SPEEDUP_TARGET:
+        print(f"FAIL: speedup {result['min_speedup']}x below the "
+              f"{SPEEDUP_TARGET}x target")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

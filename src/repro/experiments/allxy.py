@@ -15,7 +15,7 @@ from repro.experiments.analysis import (
     correct_population_for_readout,
     staircase_rms_error,
 )
-from repro.experiments.runner import ExperimentSetup, excited_fraction
+from repro.experiments.runner import ExperimentSetup
 from repro.quantum.noise import NoiseModel
 from repro.workloads.allxy import (
     allxy_two_qubit_circuit,
@@ -57,9 +57,9 @@ def run_allxy_experiment(shots: int = 200, seed: int = 7,
     for step in steps:
         circuit = allxy_two_qubit_circuit(step, qubit_a=qubit_a,
                                           qubit_b=qubit_b)
-        traces = setup.run_circuit(circuit, shots)
-        raw_a = excited_fraction(traces, qubit_a)
-        raw_b = excited_fraction(traces, qubit_b)
+        counts = setup.run_circuit_counts(circuit, shots)
+        raw_a = counts.excited_fraction(qubit_a)
+        raw_b = counts.excited_fraction(qubit_b)
         measured_a.append(correct_population_for_readout(raw_a, readout))
         measured_b.append(correct_population_for_readout(raw_b, readout))
         ideal_a, ideal_b = allxy_two_qubit_expected(step)

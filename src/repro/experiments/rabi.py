@@ -20,7 +20,7 @@ from repro.core.operations import (
     default_operation_set,
 )
 from repro.experiments.analysis import correct_population_for_readout
-from repro.experiments.runner import ExperimentSetup, excited_fraction
+from repro.experiments.runner import ExperimentSetup
 from repro.quantum.noise import NoiseModel
 from repro.workloads.rabi import (
     fit_pi_pulse_step,
@@ -58,8 +58,8 @@ def run_rabi_experiment(num_steps: int = 21, shots: int = 200,
     populations = []
     for step in range(num_steps):
         circuit = rabi_step_circuit(step, qubit=qubit)
-        traces = setup.run_circuit(circuit, shots)
-        raw = excited_fraction(traces, qubit)
+        counts = setup.run_circuit_counts(circuit, shots)
+        raw = counts.excited_fraction(qubit)
         populations.append(correct_population_for_readout(raw, readout))
     return RabiResult(
         steps=list(range(num_steps)),

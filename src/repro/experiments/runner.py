@@ -8,7 +8,8 @@ QuMA v2 instruction memory and executed against the plant for N shots.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from collections import OrderedDict
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -24,7 +25,11 @@ from repro.quantum.noise import NoiseModel
 from repro.quantum.plant import QuantumPlant
 from repro.uarch.config import UarchConfig
 from repro.uarch.machine import QuMAv2
-from repro.uarch.trace import ShotTrace
+from repro.uarch.trace import ShotCounts, ShotTrace
+
+#: Compiled-program cache bound (FIFO eviction); sweeps rarely cycle
+#: through more distinct circuit skeletons than this.
+_PROGRAM_CACHE_CAPACITY = 128
 
 
 @dataclass
@@ -34,6 +39,11 @@ class ExperimentSetup:
     isa: EQASMInstantiation
     machine: QuMAv2
     assembler: Assembler
+    #: schedule+codegen+assemble results keyed by circuit signature, so
+    #: repeated sweeps (Rabi amplitudes, RB lengths, DSE configs) stop
+    #: re-compiling identical skeletons.
+    _program_cache: OrderedDict = field(default_factory=OrderedDict,
+                                        repr=False)
 
     @classmethod
     def create(cls, isa: EQASMInstantiation | None = None,
@@ -59,14 +69,27 @@ class ExperimentSetup:
     def compile_circuit(self, circuit: Circuit,
                         interval_cycles: int | None = None,
                         initialize_cycles: int = 10000,
-                        final_wait_cycles: int = 50) -> AssembledProgram:
-        """Schedule + codegen + assemble a circuit.
+                        final_wait_cycles: int = 50,
+                        use_cache: bool = True) -> AssembledProgram:
+        """Schedule + codegen + assemble a circuit (cached).
 
         ``interval_cycles`` forces a fixed gate-start interval (the
         Fig. 12 knob); None uses ASAP scheduling.  ``final_wait_cycles``
         keeps the timeline open past the last measurement, matching the
-        paper's trailing QWAIT.
+        paper's trailing QWAIT.  Identical circuit/parameter
+        combinations return the cached :class:`AssembledProgram`
+        (compilation is deterministic and the result is never mutated);
+        pass ``use_cache=False`` to force a fresh compile.
         """
+        key = None
+        if use_cache:
+            key = (circuit.name, circuit.num_qubits,
+                   tuple((op.name, op.qubits) for op in circuit.operations),
+                   interval_cycles, initialize_cycles, final_wait_cycles)
+            cached = self._program_cache.get(key)
+            if cached is not None:
+                self._program_cache.move_to_end(key)
+                return cached
         if interval_cycles is None:
             schedule = schedule_asap(circuit, self.isa.operations)
         else:
@@ -76,7 +99,12 @@ class ExperimentSetup:
         program = generator.generate(schedule,
                                      initialize_cycles=initialize_cycles,
                                      final_wait_cycles=final_wait_cycles)
-        return self.assembler.assemble_program(program)
+        assembled = self.assembler.assemble_program(program)
+        if key is not None:
+            self._program_cache[key] = assembled
+            while len(self._program_cache) > _PROGRAM_CACHE_CAPACITY:
+                self._program_cache.popitem(last=False)
+        return assembled
 
     def assemble_text(self, text: str) -> AssembledProgram:
         """Assemble hand-written eQASM (the paper's listing figures)."""
@@ -91,6 +119,17 @@ class ExperimentSetup:
         self.machine.load(assembled)
         return self.machine.run(shots)
 
+    def run_counts(self, assembled: AssembledProgram,
+                   shots: int) -> ShotCounts:
+        """Load the binary and stream N shots into an aggregate.
+
+        Unlike :meth:`run`, memory stays O(qubits): traces are folded
+        into a :class:`~repro.uarch.trace.ShotCounts` as the machine
+        produces them (replay fast path included).
+        """
+        self.machine.load(assembled)
+        return self.machine.run_counts(shots)
+
     def run_circuit(self, circuit: Circuit, shots: int,
                     interval_cycles: int | None = None,
                     initialize_cycles: int = 10000,
@@ -101,6 +140,17 @@ class ExperimentSetup:
             initialize_cycles=initialize_cycles,
             final_wait_cycles=final_wait_cycles)
         return self.run(assembled, shots)
+
+    def run_circuit_counts(self, circuit: Circuit, shots: int,
+                           interval_cycles: int | None = None,
+                           initialize_cycles: int = 10000,
+                           final_wait_cycles: int = 50) -> ShotCounts:
+        """Compile and run a circuit, aggregating instead of tracing."""
+        assembled = self.compile_circuit(
+            circuit, interval_cycles=interval_cycles,
+            initialize_cycles=initialize_cycles,
+            final_wait_cycles=final_wait_cycles)
+        return self.run_counts(assembled, shots)
 
     def survival_probability(self, circuit: Circuit,
                              qubit: int,

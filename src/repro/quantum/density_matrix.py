@@ -18,7 +18,11 @@ import math
 import numpy as np
 
 from repro.core.errors import PlantError
-from repro.quantum.statevector import Statevector
+from repro.quantum.statevector import (
+    Statevector,
+    _apply_unitary_1q,
+    _apply_unitary_2q,
+)
 
 
 class DensityMatrix:
@@ -48,7 +52,7 @@ class DensityMatrix:
     @classmethod
     def from_statevector(cls, state: Statevector) -> "DensityMatrix":
         """|psi><psi| for a pure state."""
-        amplitudes = state.amplitudes
+        amplitudes = state.amplitudes_view
         return cls(state.num_qubits, np.outer(amplitudes,
                                               amplitudes.conj()))
 
@@ -78,23 +82,63 @@ class DensityMatrix:
     def apply_gate(self, unitary: np.ndarray,
                    qubits: tuple[int, ...] | list[int]) -> None:
         """Apply a k-qubit unitary: rho -> U rho U^dag."""
-        full = self._embed(np.asarray(unitary, dtype=complex), tuple(qubits))
-        self._matrix = full @ self._matrix @ full.conj().T
+        qubits = tuple(qubits)
+        unitary = np.asarray(unitary, dtype=complex)
+        self._check_operator(unitary, qubits)
+        if len(qubits) <= 2:
+            self._apply_operator_inplace(unitary, qubits)
+        else:
+            full = self._embed(unitary, qubits)
+            self._matrix = full @ self._matrix @ full.conj().T
 
     def apply_channel(self, kraus: list[np.ndarray],
                       qubits: tuple[int, ...] | list[int]) -> None:
         """Apply a Kraus channel: rho -> sum_i K_i rho K_i^dag."""
         qubits = tuple(qubits)
-        embedded = [self._embed(np.asarray(k, dtype=complex), qubits)
-                    for k in kraus]
+        operators = [np.asarray(k, dtype=complex) for k in kraus]
+        for operator in operators:
+            self._check_operator(operator, qubits)
+        if len(qubits) <= 2:
+            original = self._matrix
+            accumulated = np.zeros_like(original)
+            for operator in operators:
+                self._matrix = original.copy()
+                self._apply_operator_inplace(operator, qubits)
+                accumulated += self._matrix
+            self._matrix = accumulated
+            return
+        embedded = [self._embed(operator, qubits)
+                    for operator in operators]
         new = np.zeros_like(self._matrix)
         for operator in embedded:
             new += operator @ self._matrix @ operator.conj().T
         self._matrix = new
 
-    def _embed(self, operator: np.ndarray,
-               qubits: tuple[int, ...]) -> np.ndarray:
-        """Lift a k-qubit operator to the full Hilbert space."""
+    def _apply_operator_inplace(self, operator: np.ndarray,
+                                qubits: tuple[int, ...]) -> None:
+        """rho -> K rho K^dag through the statevector kernels.
+
+        Flattened, rho is a 2n-qubit tensor whose first n axes are the
+        row (ket) indices and last n the column (bra) indices; applying
+        ``K`` to the row axes and ``conj(K)`` to the column axes is
+        exactly ``K rho K^dag`` — without ever building the embedded
+        full-space operator.
+        """
+        if not self._matrix.flags.c_contiguous:
+            self._matrix = np.ascontiguousarray(self._matrix)
+        flat = self._matrix.reshape(-1)
+        n = self.num_qubits
+        if len(qubits) == 1:
+            _apply_unitary_1q(flat, operator, qubits[0])
+            _apply_unitary_1q(flat, operator.conj(), qubits[0] + n)
+        else:
+            _apply_unitary_2q(flat, operator, qubits)
+            _apply_unitary_2q(flat, operator.conj(),
+                              (qubits[0] + n, qubits[1] + n))
+
+    def _check_operator(self, operator: np.ndarray,
+                        qubits: tuple[int, ...]) -> None:
+        """Shape/target validation shared by gates, channels, embeds."""
         k = len(qubits)
         if operator.shape != (1 << k, 1 << k):
             raise PlantError(
@@ -104,6 +148,13 @@ class DensityMatrix:
         for qubit in qubits:
             if not 0 <= qubit < self.num_qubits:
                 raise PlantError(f"qubit {qubit} out of range")
+
+    def _embed(self, operator: np.ndarray,
+               qubits: tuple[int, ...]) -> np.ndarray:
+        """Lift a k-qubit operator to the full Hilbert space.
+
+        Callers validate via :meth:`_check_operator` first.
+        """
         # Build the permutation taking (qubits..., rest...) -> natural order.
         rest = [q for q in range(self.num_qubits) if q not in qubits]
         order = list(qubits) + rest
@@ -131,12 +182,8 @@ class DensityMatrix:
         """P(qubit reads 1) under an ideal projective measurement."""
         if not 0 <= qubit < self.num_qubits:
             raise PlantError(f"qubit {qubit} out of range")
-        probabilities = self.probabilities()
-        shift = self.num_qubits - 1 - qubit
-        total = 0.0
-        for index, probability in enumerate(probabilities):
-            if (index >> shift) & 1:
-                total += probability
+        probabilities = self.probabilities().reshape(1 << qubit, 2, -1)
+        total = float(probabilities[:, 1, :].sum())
         return float(min(max(total, 0.0), 1.0))
 
     def measure(self, qubit: int, rng: np.random.Generator) -> int:
@@ -150,18 +197,20 @@ class DensityMatrix:
         """Project qubit onto ``result`` and renormalise."""
         if result not in (0, 1):
             raise PlantError(f"result {result} is not a bit")
-        dim = 1 << self.num_qubits
-        shift = self.num_qubits - 1 - qubit
-        projector = np.zeros((dim, dim), dtype=complex)
-        for index in range(dim):
-            if ((index >> shift) & 1) == result:
-                projector[index, index] = 1.0
-        projected = projector @ self._matrix @ projector
-        trace = np.trace(projected).real
+        if not 0 <= qubit < self.num_qubits:
+            raise PlantError(f"qubit {qubit} out of range")
+        if not self._matrix.flags.c_contiguous:
+            self._matrix = np.ascontiguousarray(self._matrix)
+        rest = 1 << (self.num_qubits - 1 - qubit)
+        view = self._matrix.reshape(1 << qubit, 2, rest,
+                                    1 << qubit, 2, rest)
+        view[:, 1 - result, :, :, :, :] = 0.0
+        view[:, :, :, :, 1 - result, :] = 0.0
+        trace = np.trace(self._matrix).real
         if trace < 1e-12:
             raise PlantError(
                 f"collapse of qubit {qubit} to {result} has probability 0")
-        self._matrix = projected / trace
+        self._matrix = self._matrix / trace
 
     # ------------------------------------------------------------------
     # Comparisons
@@ -170,7 +219,7 @@ class DensityMatrix:
         """<psi| rho |psi> against a pure reference state."""
         if state.num_qubits != self.num_qubits:
             raise PlantError("qubit count mismatch")
-        amplitudes = state.amplitudes
+        amplitudes = state.amplitudes_view
         value = amplitudes.conj() @ self._matrix @ amplitudes
         return float(value.real)
 

@@ -46,6 +46,20 @@ class AppliedOperation:
     duration_ns: float
 
 
+@dataclass(frozen=True)
+class PlantSnapshot:
+    """A frozen mid-shot plant state, restorable in O(dim^2).
+
+    Used by the shot-replay engine to cache the (deterministic) state
+    reached just before the first stochastic operation of a shot, so
+    replayed shots skip re-evolving the whole deterministic prefix.
+    """
+
+    state: DensityMatrix
+    qubit_free_at: dict[int, float]
+    operations_log: tuple[AppliedOperation, ...]
+
+
 class QuantumPlant:
     """Density-matrix model of the chip behind the ADI.
 
@@ -84,6 +98,23 @@ class QuantumPlant:
         self._qubit_free_at = {address: 0.0
                                for address in self.topology.qubits}
         self.operations_log = []
+
+    def snapshot(self) -> PlantSnapshot:
+        """Capture the current state, busy times and operation log."""
+        return PlantSnapshot(state=self.state.copy(),
+                             qubit_free_at=dict(self._qubit_free_at),
+                             operations_log=tuple(self.operations_log))
+
+    def restore(self, snapshot: PlantSnapshot) -> None:
+        """Return the plant to a previously captured snapshot.
+
+        The snapshot itself is never aliased: the state is copied on
+        both capture and restore, so one snapshot can seed arbitrarily
+        many replayed shots.
+        """
+        self.state = snapshot.state.copy()
+        self._qubit_free_at = dict(snapshot.qubit_free_at)
+        self.operations_log = list(snapshot.operations_log)
 
     def qubit_index(self, address: int) -> int:
         """Dense simulator index for a physical qubit address."""

@@ -51,6 +51,18 @@ class Statevector:
         """A copy of the amplitude vector."""
         return self._amplitudes.copy()
 
+    @property
+    def amplitudes_view(self) -> np.ndarray:
+        """A read-only view of the amplitude vector (no copy).
+
+        Hot paths (fidelity, tomography, density-matrix construction)
+        should prefer this over :attr:`amplitudes`; the view is
+        invalidated by the next gate application.
+        """
+        view = self._amplitudes.view()
+        view.flags.writeable = False
+        return view
+
     def probability(self, basis_state: int) -> float:
         """Probability of measuring the given computational basis state."""
         return float(abs(self._amplitudes[basis_state]) ** 2)
@@ -94,9 +106,8 @@ class Statevector:
         """
         if not 0 <= qubit < self.num_qubits:
             raise PlantError(f"qubit {qubit} out of range")
-        reshaped = self._amplitudes.reshape([2] * self.num_qubits)
-        slice_one = np.take(reshaped, 1, axis=qubit)
-        return float(np.sum(np.abs(slice_one) ** 2))
+        view = self._amplitudes.reshape(1 << qubit, 2, -1)
+        return float(np.sum(np.abs(view[:, 1, :]) ** 2))
 
     def measure(self, qubit: int, rng: np.random.Generator) -> int:
         """Projective z-measurement of one qubit; collapses the state."""
@@ -107,10 +118,8 @@ class Statevector:
 
     def collapse(self, qubit: int, result: int) -> None:
         """Project onto ``result`` for ``qubit`` and renormalise."""
-        reshaped = self._amplitudes.reshape([2] * self.num_qubits)
-        index = [slice(None)] * self.num_qubits
-        index[qubit] = 1 - result
-        reshaped[tuple(index)] = 0.0
+        view = self._amplitudes.reshape(1 << qubit, 2, -1)
+        view[:, 1 - result, :] = 0.0
         norm = np.linalg.norm(self._amplitudes)
         if norm < 1e-12:
             raise PlantError(
@@ -132,20 +141,80 @@ class Statevector:
         return self.fidelity(other) > 1.0 - atol
 
 
+#: Basis permutation swapping the two qubit bits of a 2-qubit unitary.
+_SWAP_2Q = (0, 2, 1, 3)
+
+
+def _apply_unitary_1q(amplitudes: np.ndarray, unitary: np.ndarray,
+                      qubit: int) -> np.ndarray:
+    """In-place single-qubit kernel: no transpose, two axpy-style rows.
+
+    ``amplitudes`` must be C-contiguous (it always is for the state
+    vectors this module manages); the reshape is then a view and the
+    update happens in place.
+    """
+    view = amplitudes.reshape(1 << qubit, 2, -1)
+    zero = view[:, 0, :]
+    one = view[:, 1, :]
+    new_zero = unitary[0, 0] * zero + unitary[0, 1] * one
+    new_one = unitary[1, 0] * zero + unitary[1, 1] * one
+    view[:, 0, :] = new_zero
+    view[:, 1, :] = new_one
+    return amplitudes
+
+
+def _apply_unitary_2q(amplitudes: np.ndarray, unitary: np.ndarray,
+                      qubits: tuple[int, ...]) -> np.ndarray:
+    """In-place two-qubit kernel via a five-axis view of the tensor.
+
+    ``qubits[0]`` is the most significant bit of the unitary's own
+    basis; when the qubits are given high-to-low the unitary's basis is
+    re-permuted instead of transposing the state.
+    """
+    low, high = ((qubits[0], qubits[1]) if qubits[0] < qubits[1]
+                 else (qubits[1], qubits[0]))
+    if qubits[0] != low:
+        unitary = unitary[np.ix_(_SWAP_2Q, _SWAP_2Q)]
+    view = amplitudes.reshape(1 << low, 2, 1 << (high - low - 1), 2, -1)
+    slices = [view[:, a, :, b, :] for a in (0, 1) for b in (0, 1)]
+    new = [unitary[row, 0] * slices[0] + unitary[row, 1] * slices[1] +
+           unitary[row, 2] * slices[2] + unitary[row, 3] * slices[3]
+           for row in range(4)]
+    for index, (a, b) in enumerate(((0, 0), (0, 1), (1, 0), (1, 1))):
+        view[:, a, :, b, :] = new[index]
+    return amplitudes
+
+
 def _apply_unitary(amplitudes: np.ndarray, unitary: np.ndarray,
                    qubits: tuple[int, ...], num_qubits: int) -> np.ndarray:
-    """Apply a unitary on selected qubits via tensor reshaping."""
+    """Apply a unitary on selected qubits.
+
+    One- and two-qubit gates (every gate the eQASM instantiations
+    define) take the specialized in-place kernels; larger operators
+    fall back to the generic transpose path.
+    """
     k = len(qubits)
+    if k <= 2 and not amplitudes.flags.c_contiguous:
+        # The in-place kernels rely on reshape returning a view.
+        amplitudes = np.ascontiguousarray(amplitudes)
+    if k == 1:
+        return _apply_unitary_1q(amplitudes, unitary, qubits[0])
+    if k == 2:
+        return _apply_unitary_2q(amplitudes, unitary, qubits)
     tensor = amplitudes.reshape([2] * num_qubits)
     # Move the target axes to the front, in the given order.
     axes = list(qubits)
     rest = [axis for axis in range(num_qubits) if axis not in axes]
-    tensor = np.transpose(tensor, axes + rest)
+    order = axes + rest
+    tensor = np.transpose(tensor, order)
     tensor = tensor.reshape(1 << k, -1)
     tensor = unitary @ tensor
     tensor = tensor.reshape([2] * num_qubits)
-    # Move axes back.
-    inverse = np.argsort(axes + rest)
+    # Move axes back: the inverse permutation is constructed directly
+    # instead of argsort-ing the forward one.
+    inverse = [0] * num_qubits
+    for position, axis in enumerate(order):
+        inverse[axis] = position
     tensor = np.transpose(tensor, inverse)
     return tensor.reshape(-1)
 

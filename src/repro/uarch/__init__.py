@@ -12,8 +12,14 @@ from repro.uarch.devices import (
 from repro.uarch.machine import QuMAv2
 from repro.uarch.measurement import MeasurementUnit, PendingResult
 from repro.uarch.quantum_pipeline import OpSel, QuantumPipeline, ReservedPoint
+from repro.uarch.replay import (
+    ReplayError,
+    ReplayTimeline,
+    replay_unsupported_reason,
+)
 from repro.uarch.trace import (
     ResultRecord,
+    ShotCounts,
     ShotTrace,
     SlipRecord,
     TriggerRecord,
@@ -31,11 +37,15 @@ __all__ = [
     "QuMAv2",
     "QuantumPipeline",
     "QubitMicroOp",
+    "ReplayError",
+    "ReplayTimeline",
     "ReservedPoint",
     "ResultRecord",
+    "ShotCounts",
     "ShotTrace",
     "SlipRecord",
     "TriggerRecord",
     "UarchConfig",
+    "replay_unsupported_reason",
     "slip_config",
 ]

@@ -68,14 +68,28 @@ class PulseLibrary:
 
     def __init__(self, operations: OperationSet):
         self.operations = operations
+        # Waveform-table cache: C-contiguous complex128 copies of each
+        # operation's unitary, so the per-trigger hot path never pays
+        # dtype conversion or layout fixes.  Keyed by name and guarded
+        # by the operation object's identity in case an operation is
+        # re-registered between shots.
+        self._unitary_cache: dict[str, tuple[int, np.ndarray]] = {}
 
     def unitary_for(self, name: str) -> np.ndarray:
-        """The unitary implementing a configured operation."""
+        """The unitary implementing a configured operation (cached)."""
         operation = self.operations.get(name)
         if operation.unitary is None:
             raise ConfigurationError(
                 f"operation {name} has no pulse-defined unitary")
-        return operation.unitary
+        cached = self._unitary_cache.get(name)
+        if cached is not None and cached[0] == id(operation):
+            return cached[1]
+        # Always copy: freezing the operation's own array would freeze
+        # the module-level gate constants it may alias.
+        unitary = np.array(operation.unitary, dtype=complex, order="C")
+        unitary.flags.writeable = False
+        self._unitary_cache[name] = (id(operation), unitary)
+        return unitary
 
     def duration_cycles(self, name: str) -> int:
         """Duration (timing cycles) of a configured operation."""

@@ -37,7 +37,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import Callable, Iterator
 
 from repro.core.assembler import AssembledProgram
 from repro.core.encoding import InstructionDecoder
@@ -89,8 +89,14 @@ from repro.uarch.devices import (
 )
 from repro.uarch.measurement import MeasurementUnit, PendingResult
 from repro.uarch.quantum_pipeline import QuantumPipeline, ReservedPoint
+from repro.uarch.replay import (
+    ReplayError,
+    ReplayTimeline,
+    replay_unsupported_reason,
+)
 from repro.uarch.trace import (
     ResultRecord,
+    ShotCounts,
     ShotTrace,
     SlipRecord,
     TriggerRecord,
@@ -148,6 +154,13 @@ class QuMAv2:
         self.q_registers = MeasurementResultRegisters(isa.topology.qubits)
         self.execution_flags = ExecutionFlagsFile(isa.topology.qubits)
         self._instructions: list[Instruction] = []
+        # Per-instance handler cache: starts as the class dispatch
+        # table and absorbs subclass resolutions as they are seen.
+        self._dispatch: dict[type, Callable] = dict(self._DISPATCH)
+        #: Which engine the last run() used ("interpreter" | "replay").
+        self.last_run_engine: str | None = None
+        #: Why the last run() could not use replay (None when it did).
+        self.replay_fallback_reason: str | None = None
         self._reset_shot_state()
 
     # ------------------------------------------------------------------
@@ -230,10 +243,84 @@ class QuMAv2:
         trace.classical_time_ns = self._classical_time_ns
         return trace
 
-    def run(self, shots: int, max_instructions: int = 2_000_000
-            ) -> list[ShotTrace]:
-        """Execute the program ``shots`` times (fresh state per shot)."""
-        return [self.run_shot(max_instructions) for _ in range(shots)]
+    def run(self, shots: int, max_instructions: int = 2_000_000,
+            use_replay: bool = True) -> list[ShotTrace]:
+        """Execute the program ``shots`` times (fresh state per shot).
+
+        Feedback-free programs take the shot-replay fast path (see
+        :mod:`repro.uarch.replay`): one probe shot runs through the
+        full interpreter, then the remaining shots replay its frozen
+        timeline, re-sampling only the stochastic plant operations.
+        Programs with feedback (CFC ``FMR``, conditional operations,
+        mock results, ``ST``) fall back to the interpreter
+        transparently; ``use_replay=False`` forces the interpreter.
+        """
+        return list(self.run_iter(shots, max_instructions,
+                                  use_replay=use_replay))
+
+    def run_iter(self, shots: int, max_instructions: int = 2_000_000,
+                 use_replay: bool = True) -> Iterator[ShotTrace]:
+        """Lazily yield ``shots`` traces (same engine selection as
+        :meth:`run`), so high-shot callers can aggregate on the fly
+        instead of holding every trace in memory.
+
+        Engine metadata (:attr:`last_run_engine`,
+        :attr:`replay_fallback_reason`) is set when the first trace is
+        produced, since generators run on demand.
+        """
+        if shots <= 0:
+            self.last_run_engine = None
+            self.replay_fallback_reason = None
+            return
+        reason = ("replay disabled by caller" if not use_replay
+                  else self.replay_unsupported_reason())
+        if reason is None:
+            probe = self.run_shot(max_instructions)
+            try:
+                timeline = ReplayTimeline.capture(self.plant, self.pulses,
+                                                  probe)
+            except ReplayError as error:
+                reason = str(error)
+            else:
+                self.last_run_engine = "replay"
+                self.replay_fallback_reason = None
+                yield probe
+                for _ in range(shots - 1):
+                    yield timeline.replay_shot()
+                return
+            # Capture refused the probe: the shot already ran, keep it.
+            self.last_run_engine = "interpreter"
+            self.replay_fallback_reason = reason
+            yield probe
+            for _ in range(shots - 1):
+                yield self.run_shot(max_instructions)
+            return
+        self.last_run_engine = "interpreter"
+        self.replay_fallback_reason = reason
+        for _ in range(shots):
+            yield self.run_shot(max_instructions)
+
+    def run_counts(self, shots: int, max_instructions: int = 2_000_000,
+                   use_replay: bool = True) -> ShotCounts:
+        """Execute ``shots`` shots and return the streaming aggregate.
+
+        Memory stays O(qubits) regardless of the shot count — the
+        traces are folded into a :class:`~repro.uarch.trace.ShotCounts`
+        as they are produced.
+        """
+        counts = ShotCounts()
+        for trace in self.run_iter(shots, max_instructions,
+                                   use_replay=use_replay):
+            counts.add(trace)
+        return counts
+
+    def replay_unsupported_reason(self) -> str | None:
+        """Why the loaded program cannot use shot replay (None if it
+        can) — the static feedback analysis of
+        :func:`repro.uarch.replay.replay_unsupported_reason`."""
+        return replay_unsupported_reason(
+            self._instructions, self.microcode, self.measurement_unit,
+            self.isa.topology.qubits)
 
     # ------------------------------------------------------------------
     # Classical pipeline
@@ -242,78 +329,147 @@ class QuMAv2:
         self._classical_time_ns += cycles * self.config.classical_cycle_ns
 
     def _execute(self, instruction: Instruction) -> None:
-        """Execute one instruction; updates PC and the classical clock."""
-        config = self.config
-        next_pc = self._pc + 1
-        if isinstance(instruction, Nop):
-            pass
-        elif isinstance(instruction, Cmp):
-            self.comparison_flags.update(self.gprs.read(instruction.rs),
-                                         self.gprs.read(instruction.rt))
-        elif isinstance(instruction, Br):
-            if isinstance(instruction.target, str):
-                raise RuntimeFault(
-                    f"unresolved branch label {instruction.target!r}")
-            if self.comparison_flags.test(instruction.condition):
-                next_pc = self._pc + instruction.target
-                self._advance_clock(config.branch_taken_penalty_cycles)
-        elif isinstance(instruction, Fbr):
-            value = int(self.comparison_flags.test(instruction.condition))
-            self.gprs.write(instruction.rd, value)
-        elif isinstance(instruction, Ldi):
-            self.gprs.write(instruction.rd, to_unsigned32(instruction.imm))
-        elif isinstance(instruction, Ldui):
-            low = self.gprs.read(instruction.rs) & 0x1FFFF
-            value = ((instruction.imm & 0x7FFF) << 17) | low
-            self.gprs.write(instruction.rd, value)
-        elif isinstance(instruction, Ld):
-            address = to_unsigned32(
-                self.gprs.read(instruction.rt) + instruction.imm)
-            self.gprs.write(instruction.rd, self.memory.load(address))
-        elif isinstance(instruction, St):
-            address = to_unsigned32(
-                self.gprs.read(instruction.rt) + instruction.imm)
-            self.memory.store(address, self.gprs.read(instruction.rs))
-        elif isinstance(instruction, Fmr):
-            self._execute_fmr(instruction)
-        elif isinstance(instruction, LogicalOp):
-            s = self.gprs.read(instruction.rs)
-            t = self.gprs.read(instruction.rt)
-            if instruction.mnemonic_name == "AND":
-                result = s & t
-            elif instruction.mnemonic_name == "OR":
-                result = s | t
-            else:
-                result = s ^ t
-            self.gprs.write(instruction.rd, result)
-        elif isinstance(instruction, Not):
-            self.gprs.write(instruction.rd,
-                            ~self.gprs.read(instruction.rt))
-        elif isinstance(instruction, ArithOp):
-            s = self.gprs.read(instruction.rs)
-            t = self.gprs.read(instruction.rt)
-            if instruction.mnemonic_name == "ADD":
-                result = s + t
-            else:
-                result = s - t
-            self.gprs.write(instruction.rd, result)
-        elif isinstance(instruction, QWait):
-            self._process_wait(instruction.cycles)
-        elif isinstance(instruction, QWaitR):
-            value = self.gprs.read(instruction.rs)
-            # Only the low 20 bits participate (Section 4.2).
-            self._process_wait(value & ((1 << 20) - 1))
-        elif isinstance(instruction, SMIS):
-            self.quantum_pipeline.process_smis(instruction)
-        elif isinstance(instruction, SMIT):
-            self.quantum_pipeline.process_smit(instruction)
-        elif isinstance(instruction, Bundle):
-            self._process_bundle(instruction)
-        else:
-            raise RuntimeFault(
-                f"unhandled instruction {type(instruction).__name__}")
+        """Execute one instruction; updates PC and the classical clock.
+
+        Dispatch is a per-class handler table (built once at class
+        definition) instead of an ``isinstance`` chain — the lookup is
+        one dict access on the instruction's exact type, with a
+        one-time MRO walk for unseen subclasses.
+        """
+        handler = self._dispatch.get(type(instruction))
+        if handler is None:
+            handler = self._resolve_handler(type(instruction))
+        next_pc = handler(self, instruction)
         self._advance_clock()
-        self._pc = next_pc
+        self._pc = self._pc + 1 if next_pc is None else next_pc
+
+    def _resolve_handler(self, cls: type) -> Callable:
+        """Find (and cache) the handler of an instruction subclass."""
+        for base in cls.__mro__[1:]:
+            handler = self._dispatch.get(base)
+            if handler is not None:
+                self._dispatch[cls] = handler
+                return handler
+        raise RuntimeFault(f"unhandled instruction {cls.__name__}")
+
+    # Handlers return the next PC, or None for straight-line flow.
+    def _exec_nop(self, instruction: Nop) -> None:
+        return None
+
+    def _exec_cmp(self, instruction: Cmp) -> None:
+        self.comparison_flags.update(self.gprs.read(instruction.rs),
+                                     self.gprs.read(instruction.rt))
+        return None
+
+    def _exec_br(self, instruction: Br) -> int | None:
+        if isinstance(instruction.target, str):
+            raise RuntimeFault(
+                f"unresolved branch label {instruction.target!r}")
+        if self.comparison_flags.test(instruction.condition):
+            self._advance_clock(self.config.branch_taken_penalty_cycles)
+            return self._pc + instruction.target
+        return None
+
+    def _exec_fbr(self, instruction: Fbr) -> None:
+        value = int(self.comparison_flags.test(instruction.condition))
+        self.gprs.write(instruction.rd, value)
+        return None
+
+    def _exec_ldi(self, instruction: Ldi) -> None:
+        self.gprs.write(instruction.rd, to_unsigned32(instruction.imm))
+        return None
+
+    def _exec_ldui(self, instruction: Ldui) -> None:
+        low = self.gprs.read(instruction.rs) & 0x1FFFF
+        value = ((instruction.imm & 0x7FFF) << 17) | low
+        self.gprs.write(instruction.rd, value)
+        return None
+
+    def _exec_ld(self, instruction: Ld) -> None:
+        address = to_unsigned32(
+            self.gprs.read(instruction.rt) + instruction.imm)
+        self.gprs.write(instruction.rd, self.memory.load(address))
+        return None
+
+    def _exec_st(self, instruction: St) -> None:
+        address = to_unsigned32(
+            self.gprs.read(instruction.rt) + instruction.imm)
+        self.memory.store(address, self.gprs.read(instruction.rs))
+        return None
+
+    def _exec_fmr(self, instruction: Fmr) -> None:
+        self._execute_fmr(instruction)
+        return None
+
+    def _exec_logical(self, instruction: LogicalOp) -> None:
+        s = self.gprs.read(instruction.rs)
+        t = self.gprs.read(instruction.rt)
+        if instruction.mnemonic_name == "AND":
+            result = s & t
+        elif instruction.mnemonic_name == "OR":
+            result = s | t
+        else:
+            result = s ^ t
+        self.gprs.write(instruction.rd, result)
+        return None
+
+    def _exec_not(self, instruction: Not) -> None:
+        self.gprs.write(instruction.rd, ~self.gprs.read(instruction.rt))
+        return None
+
+    def _exec_arith(self, instruction: ArithOp) -> None:
+        s = self.gprs.read(instruction.rs)
+        t = self.gprs.read(instruction.rt)
+        if instruction.mnemonic_name == "ADD":
+            result = s + t
+        else:
+            result = s - t
+        self.gprs.write(instruction.rd, result)
+        return None
+
+    def _exec_qwait(self, instruction: QWait) -> None:
+        self._process_wait(instruction.cycles)
+        return None
+
+    def _exec_qwaitr(self, instruction: QWaitR) -> None:
+        value = self.gprs.read(instruction.rs)
+        # Only the low 20 bits participate (Section 4.2).
+        self._process_wait(value & ((1 << 20) - 1))
+        return None
+
+    def _exec_smis(self, instruction: SMIS) -> None:
+        self.quantum_pipeline.process_smis(instruction)
+        return None
+
+    def _exec_smit(self, instruction: SMIT) -> None:
+        self.quantum_pipeline.process_smit(instruction)
+        return None
+
+    def _exec_bundle(self, instruction: Bundle) -> None:
+        self._process_bundle(instruction)
+        return None
+
+    #: The per-class dispatch table (STOP is intercepted by the fetch
+    #: loop before dispatch, exactly as before).
+    _DISPATCH: dict[type, Callable] = {
+        Nop: _exec_nop,
+        Cmp: _exec_cmp,
+        Br: _exec_br,
+        Fbr: _exec_fbr,
+        Ldi: _exec_ldi,
+        Ldui: _exec_ldui,
+        Ld: _exec_ld,
+        St: _exec_st,
+        Fmr: _exec_fmr,
+        LogicalOp: _exec_logical,
+        Not: _exec_not,
+        ArithOp: _exec_arith,
+        QWait: _exec_qwait,
+        QWaitR: _exec_qwaitr,
+        SMIS: _exec_smis,
+        SMIT: _exec_smit,
+        Bundle: _exec_bundle,
+    }
 
     def _execute_fmr(self, instruction: Fmr) -> None:
         """FMR with the CFC stall: wait until C_i reaches zero.

@@ -1,0 +1,250 @@
+"""Shot-replay fast path: compile-once / replay-N execution.
+
+The Section 5 experiments (Rabi, AllXY, coherence, RB, surface-code
+cycles) execute the *same* assembled binary for thousands of shots.
+For a feedback-free program the classical/timing domain is completely
+deterministic: the instruction stream, the timing points, the trigger
+times and the device operations are identical in every shot — only the
+plant's stochastic operations (projective measurements and the readout
+assignment error) differ.  Real eQASM hardware exploits exactly this
+structure: timing is resolved once by the timing controller and the
+queues replay it.
+
+This module mirrors that split in software:
+
+* :func:`replay_unsupported_reason` — a static analysis over the
+  decoded binary that detects *feedback*: ``FMR`` (CFC measurement
+  reads), ``ST`` (persistent data-memory writes that could change
+  later shots), conditional micro-operations (fast conditional
+  execution reads execution flags set by measurement results), or
+  injected mock results (their queues drain across shots).  Any of
+  these forces the full interpreter.
+* :class:`ReplayTimeline` — captured from one full-interpreter *probe*
+  shot: the frozen trace records (triggers, slips, timing metadata),
+  the plant operation list, and a plant snapshot taken just before the
+  first stochastic operation.  Replaying a shot restores the snapshot
+  and re-executes only the stochastic suffix, re-sampling every
+  measurement against fresh randomness.
+
+The machine (:meth:`repro.uarch.machine.QuMAv2.run`) engages the
+replay path automatically and falls back transparently to the
+interpreter whenever the analysis or the capture refuses a program.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from repro.core.instructions import (
+    ArithOp,
+    Br,
+    Bundle,
+    Cmp,
+    Fbr,
+    Fmr,
+    Instruction,
+    Ld,
+    Ldi,
+    Ldui,
+    LogicalOp,
+    Nop,
+    Not,
+    QWait,
+    QWaitR,
+    SMIS,
+    SMIT,
+    St,
+    Stop,
+)
+from repro.core.microcode import MicrocodeUnit
+from repro.core.operations import ExecutionFlag
+from repro.quantum.plant import PlantSnapshot, QuantumPlant
+from repro.uarch.devices import PulseLibrary
+from repro.uarch.measurement import MeasurementUnit
+from repro.uarch.trace import ResultRecord, ShotTrace
+
+#: Name under which the plant logs projective measurements.
+MEASUREMENT_LOG_NAME = "MEASZ"
+
+#: Instructions whose execution cannot depend on measurement outcomes
+#: (given that FMR is absent, GPRs and comparison flags never see
+#: measurement data, so control flow and waits are deterministic).
+_REPLAYABLE_CLASSICAL = (Nop, Stop, Cmp, Br, Fbr, Ldi, Ldui, Ld,
+                         LogicalOp, Not, ArithOp, QWait, QWaitR,
+                         SMIS, SMIT)
+
+
+class ReplayError(Exception):
+    """Internal signal: this program cannot be replayed — fall back."""
+
+
+def replay_unsupported_reason(
+        instructions: Iterable[Instruction],
+        microcode: MicrocodeUnit,
+        measurement_unit: MeasurementUnit,
+        qubit_addresses: Iterable[int]) -> str | None:
+    """Why a loaded binary cannot take the replay fast path (or None).
+
+    The analysis is conservative: anything that could make one shot
+    observe another shot's randomness — or its own measurement
+    results — disqualifies the program.
+    """
+    instructions = list(instructions)
+    if not instructions:
+        return "no program loaded"
+    for qubit in qubit_addresses:
+        if measurement_unit.has_mock_results(qubit):
+            return (f"mock measurement results queued for qubit {qubit} "
+                    f"(per-experiment queues drain across shots)")
+    for instruction in instructions:
+        if isinstance(instruction, Fmr):
+            return "FMR reads a measurement result (CFC feedback)"
+        if isinstance(instruction, St):
+            return "ST writes data memory, which persists across shots"
+        if isinstance(instruction, Bundle):
+            for slot in instruction.operations:
+                try:
+                    micro_ops = microcode.translate_name(slot.name)
+                except Exception:
+                    return f"operation {slot.name!r} is not translatable"
+                for micro_op in micro_ops:
+                    if micro_op.condition is not ExecutionFlag.ALWAYS:
+                        return (f"operation {slot.name!r} is conditioned "
+                                f"on execution flags (fast conditional "
+                                f"execution)")
+        elif not isinstance(instruction, _REPLAYABLE_CLASSICAL):
+            return (f"unsupported instruction "
+                    f"{type(instruction).__name__}")
+    return None
+
+
+@dataclass(frozen=True)
+class _SuffixOp:
+    """One post-snapshot plant operation, ready to re-execute."""
+
+    is_measurement: bool
+    name: str
+    qubits: tuple[int, ...]
+    start_ns: float
+    duration_ns: float
+    unitary: np.ndarray | None = None       # gates only
+    template: ResultRecord | None = None    # measurements only
+
+
+class ReplayTimeline:
+    """A frozen timeline captured from one interpreter probe shot.
+
+    ``capture`` must be called immediately after the probe shot, while
+    the machine's plant still holds the probe's operation log.  The
+    captured timeline owns:
+
+    * the probe's :class:`ShotTrace` — its frozen trigger/slip records
+      and timing metadata are *shared* (bit-identical) with every
+      replayed trace;
+    * a :class:`~repro.quantum.plant.PlantSnapshot` of the state just
+      before the first stochastic operation, rebuilt by re-applying the
+      deterministic prefix to a fresh plant;
+    * the stochastic suffix — every operation from the first
+      measurement on, re-executed (and re-sampled) per shot.
+    """
+
+    def __init__(self, plant: QuantumPlant, probe: ShotTrace,
+                 snapshot: PlantSnapshot, suffix: list[_SuffixOp]):
+        self._plant = plant
+        self._probe = probe
+        self._snapshot = snapshot
+        self._suffix = suffix
+
+    # ------------------------------------------------------------------
+    # Capture
+    # ------------------------------------------------------------------
+    @classmethod
+    def capture(cls, plant: QuantumPlant, pulses: PulseLibrary,
+                probe: ShotTrace) -> "ReplayTimeline":
+        """Freeze the probe shot's timeline; raises :class:`ReplayError`
+        when the observed execution defies the replay assumptions."""
+        operations = list(plant.operations_log)
+        measurements = [op for op in operations
+                        if op.name == MEASUREMENT_LOG_NAME]
+        templates = list(probe.results)
+        if len(measurements) != len(templates):
+            raise ReplayError(
+                f"{len(measurements)} plant measurements vs "
+                f"{len(templates)} trace results")
+        # Pair the k-th measurement operation (chronological trigger
+        # order) with the k-th result record (chronological arrival
+        # order); identical integration windows keep the orders equal.
+        for op, template in zip(measurements, templates):
+            if (op.qubits != (template.qubit,) or
+                    abs(op.start_ns - template.measure_start_ns) > 1e-9):
+                raise ReplayError(
+                    f"measurement on {op.qubits} at {op.start_ns} ns does "
+                    f"not match result record for qubit {template.qubit}")
+        first_measurement = next(
+            (index for index, op in enumerate(operations)
+             if op.name == MEASUREMENT_LOG_NAME), len(operations))
+        prefix = operations[:first_measurement]
+        suffix: list[_SuffixOp] = []
+        template_index = 0
+        for op in operations[first_measurement:]:
+            if op.name == MEASUREMENT_LOG_NAME:
+                suffix.append(_SuffixOp(
+                    is_measurement=True, name=op.name, qubits=op.qubits,
+                    start_ns=op.start_ns, duration_ns=op.duration_ns,
+                    template=templates[template_index]))
+                template_index += 1
+            else:
+                suffix.append(_SuffixOp(
+                    is_measurement=False, name=op.name, qubits=op.qubits,
+                    start_ns=op.start_ns, duration_ns=op.duration_ns,
+                    unitary=pulses.unitary_for(op.name)))
+        # Rebuild the deterministic prefix on a fresh plant (consumes
+        # no randomness) and freeze the pre-measurement state.
+        plant.reset_shot()
+        for op in prefix:
+            plant.apply_unitary(op.name, pulses.unitary_for(op.name),
+                                op.qubits, op.start_ns, op.duration_ns)
+        snapshot = plant.snapshot()
+        return cls(plant=plant, probe=probe, snapshot=snapshot,
+                   suffix=suffix)
+
+    # ------------------------------------------------------------------
+    # Replay
+    # ------------------------------------------------------------------
+    def replay_shot(self) -> ShotTrace:
+        """One replayed shot: restore the snapshot, re-run the suffix.
+
+        Timing-domain records (triggers, slips, classical time,
+        instruction count) are shared with the probe — they are frozen
+        dataclasses, bit-identical by construction.  Measurement
+        results are re-sampled from the plant with fresh randomness.
+        """
+        plant = self._plant
+        probe = self._probe
+        plant.restore(self._snapshot)
+        readout = plant.noise.readout
+        results: list[ResultRecord] = []
+        for op in self._suffix:
+            if op.is_measurement:
+                raw = plant.measure(op.qubits[0], op.start_ns,
+                                    op.duration_ns)
+                reported = readout.apply(raw, plant.rng)
+                template = op.template
+                results.append(ResultRecord(
+                    qubit=template.qubit, raw_result=raw,
+                    reported_result=reported,
+                    measure_start_ns=template.measure_start_ns,
+                    arrival_ns=template.arrival_ns))
+            else:
+                plant.apply_unitary(op.name, op.unitary, op.qubits,
+                                    op.start_ns, op.duration_ns)
+        return ShotTrace(
+            triggers=list(probe.triggers),
+            results=results,
+            slips=list(probe.slips),
+            instructions_executed=probe.instructions_executed,
+            classical_time_ns=probe.classical_time_ns,
+            stop_reached=probe.stop_reached)

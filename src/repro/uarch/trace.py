@@ -86,3 +86,64 @@ class ShotTrace:
     def max_slip_ns(self) -> float:
         """Worst timing slippage in the shot (0 when on time)."""
         return max((record.slip_ns for record in self.slips), default=0.0)
+
+
+@dataclass
+class ShotCounts:
+    """Streaming aggregate over many shots — O(qubits) memory.
+
+    High-shot callers (excited fractions, outcome histograms) do not
+    need every :class:`ShotTrace`; feeding traces into a
+    :class:`ShotCounts` as they are produced keeps memory flat no
+    matter the shot count.  Only the *final* result of each qubit per
+    shot is aggregated, matching :func:`repro.experiments.runner.excited_fraction`.
+    """
+
+    shots: int = 0
+    ones: dict[int, int] = field(default_factory=dict)
+    measured: dict[int, int] = field(default_factory=dict)
+    #: Joint histogram: sorted ((qubit, bit), ...) of final results.
+    joint: dict[tuple[tuple[int, int], ...], int] = field(
+        default_factory=dict)
+    total_slips: int = 0
+    max_slip_ns: float = 0.0
+
+    def add(self, trace: ShotTrace) -> None:
+        """Fold one shot into the aggregate."""
+        self.shots += 1
+        last: dict[int, int] = {}
+        for record in trace.results:
+            last[record.qubit] = record.reported_result
+        for qubit, bit in last.items():
+            self.measured[qubit] = self.measured.get(qubit, 0) + 1
+            if bit:
+                self.ones[qubit] = self.ones.get(qubit, 0) + 1
+        if last:
+            key = tuple(sorted(last.items()))
+            self.joint[key] = self.joint.get(key, 0) + 1
+        self.total_slips += len(trace.slips)
+        slip = trace.max_slip_ns()
+        if slip > self.max_slip_ns:
+            self.max_slip_ns = slip
+
+    def excited_fraction(self, qubit: int) -> float:
+        """Fraction of shots whose last result on ``qubit`` was 1."""
+        measured = self.measured.get(qubit, 0)
+        if not measured:
+            raise ValueError(f"no measurement results for qubit {qubit}")
+        return self.ones.get(qubit, 0) / measured
+
+    def ground_fraction(self, qubit: int) -> float:
+        """Fraction of shots whose last result on ``qubit`` was 0."""
+        return 1.0 - self.excited_fraction(qubit)
+
+    def outcome_counts(self, qubit_a: int, qubit_b: int) -> dict[int, int]:
+        """Two-bit outcome histogram over shots (qubit_a = MSB)."""
+        counts: dict[int, int] = {}
+        for key, count in self.joint.items():
+            bits = dict(key)
+            if qubit_a not in bits or qubit_b not in bits:
+                continue
+            outcome = (bits[qubit_a] << 1) | bits[qubit_b]
+            counts[outcome] = counts.get(outcome, 0) + count
+        return counts
