@@ -1,0 +1,175 @@
+"""E16 — branch-resolved replay: feedback-program shot throughput.
+
+PR 1's shot-replay engine only covered feedback-free programs; every
+workload exercising eQASM's headline features — fast conditional
+execution (active reset, Fig. 4) and CFC via ``FMR`` (Fig. 5) — fell
+back to the cycle-accurate interpreter.  This benchmark measures
+end-to-end shot throughput of the interpreter vs the branch-resolved
+timeline tree (:mod:`repro.uarch.replay`) on exactly those feedback
+programs, and cross-checks per-outcome-path timing bit-identity plus
+measurement statistics between the engines.
+
+Runs two ways:
+
+* under pytest (``pytest benchmarks/bench_feedback_throughput.py``)
+  as a regression gate asserting the >= 5x speedup target;
+* as a script (``python benchmarks/bench_feedback_throughput.py
+  [--shots N] [--check] [--output BENCH_feedback_throughput.json]``)
+  — the recorded numbers live in ``BENCH_feedback_throughput.json``
+  at the repository root.  ``--check`` gates at the CI floor (3x),
+  below the 5x recording target, so shared-runner jitter does not
+  flake the build.
+"""
+
+import argparse
+import json
+import math
+import sys
+import time
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # script mode without PYTHONPATH=src
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np
+
+from repro.core import Assembler, two_qubit_instantiation
+from repro.experiments.cfc import CFC_TWO_ROUND_PROGRAM
+from repro.experiments.reset import FIG4_PROGRAM
+from repro.quantum import NoiseModel, QuantumPlant
+from repro.uarch import QuMAv2
+
+#: Required end-to-end speedup when recording BENCH_ numbers.
+SPEEDUP_TARGET = 5.0
+#: CI gate (``--check``): regressions below this fail the build.
+CHECK_TARGET = 3.0
+
+PROGRAMS = {"active_reset": FIG4_PROGRAM, "cfc": CFC_TWO_ROUND_PROGRAM}
+
+
+def _make_machine(text: str, seed: int) -> QuMAv2:
+    isa = two_qubit_instantiation()
+    plant = QuantumPlant(isa.topology, noise=NoiseModel(),
+                         rng=np.random.default_rng(seed))
+    machine = QuMAv2(isa, plant)
+    machine.load(Assembler(isa).assemble_text(text))
+    return machine
+
+
+def _time_run(machine: QuMAv2, shots: int, use_replay: bool):
+    start = time.perf_counter()
+    traces = machine.run(shots, use_replay=use_replay)
+    elapsed = time.perf_counter() - start
+    return traces, elapsed
+
+
+def measure_program(name: str, shots: int = 2000, seed: int = 13) -> dict:
+    """Throughput of both engines on one program, with cross-checks."""
+    interpreter = _make_machine(PROGRAMS[name], seed)
+    interp_traces, interp_s = _time_run(interpreter, shots,
+                                        use_replay=False)
+    assert interpreter.last_run_engine == "interpreter"
+
+    replay = _make_machine(PROGRAMS[name], seed)
+    replay_traces, replay_s = _time_run(replay, shots, use_replay=True)
+    assert replay.last_run_engine == "replay", \
+        f"replay refused: {replay.replay_fallback_reason}"
+    stats = replay.engine_stats
+
+    # Per-outcome-path timing equivalence: every path the replay engine
+    # produced must have bit-identical timing records to an interpreter
+    # trace that followed the same reported outcomes.
+    interp_by_path = {}
+    for trace in interp_traces:
+        interp_by_path.setdefault(trace.outcome_path(), trace)
+    checked = 0
+    for trace in replay_traces:
+        reference = interp_by_path.get(trace.outcome_path())
+        if reference is None:
+            continue
+        assert reference.triggers == trace.triggers
+        assert reference.slips == trace.slips
+        assert reference.classical_time_ns == trace.classical_time_ns
+        checked += 1
+    assert checked > 0, "no outcome path common to both engines"
+
+    # Statistical equivalence of the final per-qubit outcome (~4.5
+    # sigma of the difference of two p=0.5 samples, so low-shot smoke
+    # runs stay sound).
+    tolerance = 4.5 * math.sqrt(0.5 / shots)
+    for qubit in {r.qubit for r in interp_traces[0].results}:
+        interp_p = sum(t.last_result(qubit) for t in interp_traces) / shots
+        replay_p = sum(t.last_result(qubit) for t in replay_traces) / shots
+        assert abs(interp_p - replay_p) < tolerance, \
+            f"{name} qubit {qubit}: {interp_p} vs {replay_p}"
+
+    return {
+        "shots": shots,
+        "interpreter_shots_per_sec": round(shots / interp_s, 1),
+        "replay_shots_per_sec": round(shots / replay_s, 1),
+        "speedup": round(interp_s / replay_s, 2),
+        "paths_checked": checked,
+        "engine_stats": stats.as_dict(),
+    }
+
+
+def run_benchmark(shots: int = 2000) -> dict:
+    """Measure every program; returns the JSON-ready result tree."""
+    programs = {name: measure_program(name, shots=shots)
+                for name in PROGRAMS}
+    return {
+        "benchmark": "bench_feedback_throughput",
+        "description": "interpreter vs branch-resolved replay tree, "
+                       "feedback programs (active reset / CFC), "
+                       "end-to-end shots/sec",
+        "speedup_target": SPEEDUP_TARGET,
+        "check_target": CHECK_TARGET,
+        "programs": programs,
+        "min_speedup": min(entry["speedup"]
+                           for entry in programs.values()),
+    }
+
+
+# ----------------------------------------------------------------------
+# pytest entry points
+# ----------------------------------------------------------------------
+def test_branch_replay_speedup_active_reset():
+    result = measure_program("active_reset", shots=2000)
+    print(f"\nactive_reset: {result}")
+    assert result["speedup"] >= SPEEDUP_TARGET
+
+
+def test_branch_replay_speedup_cfc():
+    result = measure_program("cfc", shots=2000)
+    print(f"\ncfc: {result}")
+    assert result["speedup"] >= SPEEDUP_TARGET
+
+
+# ----------------------------------------------------------------------
+# script entry point
+# ----------------------------------------------------------------------
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--shots", type=int, default=2000)
+    parser.add_argument("--check", action="store_true",
+                        help="exit non-zero unless the CI speedup "
+                             f"floor ({CHECK_TARGET}x) is met")
+    parser.add_argument("--output", type=Path, default=None,
+                        help="write the result JSON to this path")
+    args = parser.parse_args()
+    result = run_benchmark(shots=args.shots)
+    print(json.dumps(result, indent=2))
+    if args.output is not None:
+        args.output.write_text(json.dumps(result, indent=2) + "\n")
+        print(f"wrote {args.output}")
+    if args.check and result["min_speedup"] < CHECK_TARGET:
+        print(f"FAIL: speedup {result['min_speedup']}x below the "
+              f"{CHECK_TARGET}x gate")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,10 +11,11 @@ not compiler output) on the machine.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
-from repro.experiments.runner import ExperimentSetup, ground_fraction
+from repro.experiments.runner import ExperimentSetup
 from repro.quantum.noise import NoiseModel
+from repro.uarch.replay import EngineStats
 
 #: The Fig. 4 listing, extended with a terminating STOP.
 FIG4_PROGRAM = """
@@ -39,6 +40,10 @@ class ResetResult:
     ground_probability: float          # P(final result = 0)
     conditional_executed_fraction: float
     readout_fidelity: float
+    #: Per-run execution-engine statistics — active reset exercises
+    #: fast conditional execution, so this shows the branch-resolved
+    #: replay path (shots via interpreter vs replay, cache hits).
+    engine_stats: EngineStats = field(default_factory=EngineStats)
 
     def matches_paper(self, tolerance: float = 0.05) -> bool:
         """Within ``tolerance`` of the paper's 82.7 %."""
@@ -49,21 +54,27 @@ class ResetResult:
 def run_active_reset_experiment(shots: int = 2000, seed: int = 5,
                                 noise: NoiseModel | None = None
                                 ) -> ResetResult:
-    """Execute the Fig. 4 program for N shots."""
+    """Execute the Fig. 4 program for N shots (streamed — per-shot
+    aggregates are folded as traces are produced, so memory stays flat
+    at any shot count)."""
     setup = ExperimentSetup.create(noise=noise, seed=seed)
     assembled = setup.assemble_text(FIG4_PROGRAM)
-    traces = setup.run(assembled, shots)
     executed = 0
-    for trace in traces:
-        cx = [t for t in trace.triggers if t.name == "C_X"]
-        if cx and cx[0].executed:
-            executed += 1
+    ground = 0
+    for trace in setup.run_iter(assembled, shots):
+        for trigger in trace.triggers:
+            if trigger.name == "C_X":
+                executed += trigger.executed
+                break
+        if trace.last_result(2) == 0:
+            ground += 1
     return ResetResult(
         shots=shots,
-        ground_probability=ground_fraction(traces, 2),
+        ground_probability=ground / shots,
         conditional_executed_fraction=executed / shots,
         readout_fidelity=setup.machine.plant.noise.readout
-        .assignment_fidelity)
+        .assignment_fidelity,
+        engine_stats=setup.last_engine_stats)
 
 
 def format_reset_report(result: ResetResult) -> str:

@@ -13,6 +13,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from typing import Iterator
+
 from repro.compiler.codegen import EQASMCodeGenerator
 from repro.compiler.ir import Circuit
 from repro.compiler.scheduler import (
@@ -25,6 +27,7 @@ from repro.quantum.noise import NoiseModel
 from repro.quantum.plant import QuantumPlant
 from repro.uarch.config import UarchConfig
 from repro.uarch.machine import QuMAv2
+from repro.uarch.replay import EngineStats
 from repro.uarch.trace import ShotCounts, ShotTrace
 
 #: Compiled-program cache bound (FIFO eviction); sweeps rarely cycle
@@ -119,6 +122,19 @@ class ExperimentSetup:
         self.machine.load(assembled)
         return self.machine.run(shots)
 
+    def run_iter(self, assembled: AssembledProgram,
+                 shots: int) -> Iterator[ShotTrace]:
+        """Load the binary and lazily yield N shot traces.
+
+        The streaming entry point for per-shot consumers (the loading
+        happens eagerly; the shots run on demand).  Engine selection is
+        the machine's — branch-resolved replay wherever possible — and
+        per-run statistics are available afterwards through
+        :attr:`last_engine_stats`.
+        """
+        self.machine.load(assembled)
+        return self.machine.run_iter(shots)
+
     def run_counts(self, assembled: AssembledProgram,
                    shots: int) -> ShotCounts:
         """Load the binary and stream N shots into an aggregate.
@@ -130,6 +146,13 @@ class ExperimentSetup:
         self.machine.load(assembled)
         return self.machine.run_counts(shots)
 
+    @property
+    def last_engine_stats(self) -> EngineStats:
+        """Engine statistics of the most recent ``run*`` call: shots
+        via interpreter vs replay, segment-cache hits/misses, fallback
+        reasons (see :class:`~repro.uarch.replay.EngineStats`)."""
+        return self.machine.engine_stats
+
     def run_circuit(self, circuit: Circuit, shots: int,
                     interval_cycles: int | None = None,
                     initialize_cycles: int = 10000,
@@ -140,6 +163,18 @@ class ExperimentSetup:
             initialize_cycles=initialize_cycles,
             final_wait_cycles=final_wait_cycles)
         return self.run(assembled, shots)
+
+    def run_circuit_iter(self, circuit: Circuit, shots: int,
+                         interval_cycles: int | None = None,
+                         initialize_cycles: int = 10000,
+                         final_wait_cycles: int = 50
+                         ) -> Iterator[ShotTrace]:
+        """Compile a circuit and lazily yield its shot traces."""
+        assembled = self.compile_circuit(
+            circuit, interval_cycles=interval_cycles,
+            initialize_cycles=initialize_cycles,
+            final_wait_cycles=final_wait_cycles)
+        return self.run_iter(assembled, shots)
 
     def run_circuit_counts(self, circuit: Circuit, shots: int,
                            interval_cycles: int | None = None,

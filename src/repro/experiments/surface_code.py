@@ -8,13 +8,14 @@ flip exactly the stabilizers it anticommutes with.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.core.isa import seven_qubit_instantiation
 from repro.experiments.runner import ExperimentSetup
 from repro.quantum.noise import NoiseModel
+from repro.uarch.replay import EngineStats
 from repro.workloads.surface_code import (
     Syndrome,
     surface_code_circuit,
@@ -27,6 +28,10 @@ class SurfaceCodeResult:
 
     rounds: int
     syndromes_per_shot: list[list[Syndrome]]
+    #: Per-run engine statistics — repeated syndrome extraction rides
+    #: the branch-resolved replay tree (one cached path per observed
+    #: ancilla-outcome history).
+    engine_stats: EngineStats = field(default_factory=EngineStats)
 
     def detection_fraction(self, round_index: int) -> float:
         """Fraction of shots whose syndrome fired in a given round."""
@@ -41,16 +46,20 @@ def run_surface_code_experiment(
         error_after_round: int = 0,
         shots: int = 50, seed: int = 29,
         noise: NoiseModel | None = None) -> SurfaceCodeResult:
-    """Execute syndrome rounds and collect per-round Z syndromes."""
+    """Execute syndrome rounds and collect per-round Z syndromes.
+
+    Shots are streamed: each trace is reduced to its per-round
+    syndromes as it is produced, so only O(rounds) data per shot is
+    retained while the machine replays cached outcome paths.
+    """
     setup = ExperimentSetup.create(
         isa=seven_qubit_instantiation(),
         noise=noise if noise is not None else NoiseModel.noiseless(),
         seed=seed)
     circuit = surface_code_circuit(rounds=rounds, error=error,
                                    error_after_round=error_after_round)
-    traces = setup.run_circuit(circuit, shots)
     syndromes_per_shot: list[list[Syndrome]] = []
-    for trace in traces:
+    for trace in setup.run_circuit_iter(circuit, shots):
         results_2 = [r.reported_result for r in trace.results_for(2)]
         results_4 = [r.reported_result for r in trace.results_for(4)]
         if len(results_2) != rounds or len(results_4) != rounds:
@@ -62,7 +71,8 @@ def run_surface_code_experiment(
                           for i in range(rounds)]
         syndromes_per_shot.append(shot_syndromes)
     return SurfaceCodeResult(rounds=rounds,
-                             syndromes_per_shot=syndromes_per_shot)
+                             syndromes_per_shot=syndromes_per_shot,
+                             engine_stats=setup.last_engine_stats)
 
 
 def format_surface_code_report(clean: SurfaceCodeResult,

@@ -88,6 +88,11 @@ class QuantumPlant:
         self.state = DensityMatrix(self.num_qubits)
         self._qubit_free_at = {address: 0.0 for address in topology.qubits}
         self.operations_log: list[AppliedOperation] = []
+        #: Optional hook called as ``observer(qubit, start_ns, p_one)``
+        #: just before every projective collapse — the branch-resolved
+        #: replay engine records the pre-collapse P(1) at each segment
+        #: boundary through this.  Survives :meth:`reset_shot`.
+        self.measure_observer = None
 
     # ------------------------------------------------------------------
     # Shot lifecycle
@@ -175,15 +180,29 @@ class QuantumPlant:
                              duration_ns=duration_ns))
 
     def measure(self, qubit: int, start_ns: float,
-                duration_ns: float) -> int:
+                duration_ns: float, forced: int | None = None) -> int:
         """Projective z-measurement of a physical qubit.
 
         Returns the *physical* outcome (no assignment error); the
         measurement-discrimination unit applies the classical readout
         flip.  The qubit is busy for the full measurement duration.
+
+        ``forced`` collapses the state onto a caller-chosen outcome
+        instead of sampling — the branch-resolved replay engine uses it
+        to re-run an interpreter shot along an already-sampled outcome
+        prefix (the forced outcome was itself drawn from this state's
+        pre-collapse distribution, so the statistics stay exact).
         """
         self._advance_qubit(qubit, start_ns)
-        result = self.state.measure(self.qubit_index(qubit), self.rng)
+        index = self.qubit_index(qubit)
+        if self.measure_observer is not None:
+            self.measure_observer(qubit, start_ns,
+                                  self.state.probability_one(index))
+        if forced is None:
+            result = self.state.measure(index, self.rng)
+        else:
+            self.state.collapse(index, forced)
+            result = forced
         self._qubit_free_at[qubit] = start_ns + duration_ns
         self.operations_log.append(
             AppliedOperation(name="MEASZ", qubits=(qubit,),

@@ -13,9 +13,12 @@ from repro.uarch.machine import QuMAv2
 from repro.uarch.measurement import MeasurementUnit, PendingResult
 from repro.uarch.quantum_pipeline import OpSel, QuantumPipeline, ReservedPoint
 from repro.uarch.replay import (
+    EngineStats,
+    MeasurementSample,
     ReplayError,
-    ReplayTimeline,
+    TimelineTree,
     replay_unsupported_reason,
+    replay_unsupported_reasons,
 )
 from repro.uarch.trace import (
     ResultRecord,
@@ -29,7 +32,9 @@ __all__ = [
     "DeviceEventDistributor",
     "DeviceId",
     "DeviceOperation",
+    "EngineStats",
     "EventQueue",
+    "MeasurementSample",
     "MeasurementUnit",
     "OpSel",
     "PendingResult",
@@ -38,14 +43,15 @@ __all__ = [
     "QuantumPipeline",
     "QubitMicroOp",
     "ReplayError",
-    "ReplayTimeline",
     "ReservedPoint",
     "ResultRecord",
     "ShotCounts",
     "ShotTrace",
     "SlipRecord",
+    "TimelineTree",
     "TriggerRecord",
     "UarchConfig",
     "replay_unsupported_reason",
+    "replay_unsupported_reasons",
     "slip_config",
 ]

@@ -90,9 +90,11 @@ from repro.uarch.devices import (
 from repro.uarch.measurement import MeasurementUnit, PendingResult
 from repro.uarch.quantum_pipeline import QuantumPipeline, ReservedPoint
 from repro.uarch.replay import (
-    ReplayError,
-    ReplayTimeline,
+    EngineStats,
+    MeasurementSample,
+    TimelineTree,
     replay_unsupported_reason,
+    replay_unsupported_reasons,
 )
 from repro.uarch.trace import (
     ResultRecord,
@@ -112,7 +114,7 @@ from repro.uarch.trace import (
 _EVENT_PRIORITY = {"result": 0, "flag": 1, "qreg": 1, "trigger": 2}
 
 
-@dataclass(order=True)
+@dataclass(order=True, slots=True)
 class _Event:
     """A deterministic-domain event, ordered by time, priority, sequence."""
 
@@ -161,6 +163,9 @@ class QuMAv2:
         self.last_run_engine: str | None = None
         #: Why the last run() could not use replay (None when it did).
         self.replay_fallback_reason: str | None = None
+        #: Per-run engine statistics (shots per engine, segment-cache
+        #: hits/misses, fallback reasons); replaced by each run_iter().
+        self.engine_stats = EngineStats()
         self._reset_shot_state()
 
     # ------------------------------------------------------------------
@@ -247,13 +252,16 @@ class QuMAv2:
             use_replay: bool = True) -> list[ShotTrace]:
         """Execute the program ``shots`` times (fresh state per shot).
 
-        Feedback-free programs take the shot-replay fast path (see
-        :mod:`repro.uarch.replay`): one probe shot runs through the
-        full interpreter, then the remaining shots replay its frozen
-        timeline, re-sampling only the stochastic plant operations.
-        Programs with feedback (CFC ``FMR``, conditional operations,
-        mock results, ``ST``) fall back to the interpreter
-        transparently; ``use_replay=False`` forces the interpreter.
+        Replayable programs — including feedback programs using ``FMR``
+        (CFC) and conditional micro-operations (fast conditional
+        execution / active reset) — take the branch-resolved replay
+        fast path (see :mod:`repro.uarch.replay`): interpreter shots
+        grow an outcome-keyed timeline-segment tree, and every shot
+        whose sampled outcome path is already cached is served as a
+        pure tree walk.  Hard blockers (``ST`` to persistent data
+        memory, injected mock results, untranslatable operations) fall
+        back to the interpreter transparently; ``use_replay=False``
+        forces the interpreter.
         """
         return list(self.run_iter(shots, max_instructions,
                                   use_replay=use_replay))
@@ -265,40 +273,85 @@ class QuMAv2:
         instead of holding every trace in memory.
 
         Engine metadata (:attr:`last_run_engine`,
-        :attr:`replay_fallback_reason`) is set when the first trace is
-        produced, since generators run on demand.
+        :attr:`replay_fallback_reason`, :attr:`engine_stats`) is set
+        when the first trace is produced, since generators run on
+        demand; :attr:`engine_stats` keeps updating as shots are drawn.
         """
+        stats = EngineStats()
+        self.engine_stats = stats
+        # Forced outcomes are a per-run_shot driving aid; a queue left
+        # over from an earlier run_shot() would silently bias the first
+        # shots here (and shift the replay engine's own forced prefixes
+        # onto the wrong measurements), so multi-shot runs always start
+        # from a clean slate.
+        self.measurement_unit.clear_forced_results()
         if shots <= 0:
             self.last_run_engine = None
             self.replay_fallback_reason = None
             return
-        reason = ("replay disabled by caller" if not use_replay
-                  else self.replay_unsupported_reason())
-        if reason is None:
-            probe = self.run_shot(max_instructions)
-            try:
-                timeline = ReplayTimeline.capture(self.plant, self.pulses,
-                                                  probe)
-            except ReplayError as error:
-                reason = str(error)
-            else:
-                self.last_run_engine = "replay"
-                self.replay_fallback_reason = None
-                yield probe
-                for _ in range(shots - 1):
-                    yield timeline.replay_shot()
-                return
-            # Capture refused the probe: the shot already ran, keep it.
+        reasons = (["replay disabled by caller"] if not use_replay
+                   else self.replay_unsupported_reasons())
+        if reasons:
+            reason = "; ".join(reasons)
             self.last_run_engine = "interpreter"
             self.replay_fallback_reason = reason
-            yield probe
-            for _ in range(shots - 1):
+            stats.engine = "interpreter"
+            stats.fallback_reason = reason
+            for _ in range(shots):
+                stats.shots_total += 1
+                stats.interpreter_shots += 1
                 yield self.run_shot(max_instructions)
             return
-        self.last_run_engine = "interpreter"
-        self.replay_fallback_reason = reason
+        self.last_run_engine = "replay"
+        self.replay_fallback_reason = None
+        stats.engine = "replay"
+        tree = TimelineTree(self.plant)
         for _ in range(shots):
-            yield self.run_shot(max_instructions)
+            stats.shots_total += 1
+            trace, outcome_prefix = tree.sample_shot()
+            if trace is not None:
+                stats.replay_shots += 1
+                stats.segment_cache_hits += 1
+                yield trace
+                continue
+            stats.segment_cache_misses += 1
+            stats.interpreter_shots += 1
+            yield self._grow_tree_shot(tree, outcome_prefix,
+                                       max_instructions)
+            stats.tree_nodes = tree.node_count
+            stats.tree_paths = tree.path_count
+            stats.growth_stopped_reason = tree.growth_stopped_reason
+
+    def _grow_tree_shot(self, tree: TimelineTree,
+                        outcome_prefix: list[tuple[int, int]],
+                        max_instructions: int) -> ShotTrace:
+        """One interpreter shot that extends the timeline tree.
+
+        The already-sampled outcome prefix (where the tree walk fell
+        off a cached path) is forced onto the measurement unit, so the
+        interpreter re-derives exactly the missing branch; measurements
+        beyond the prefix sample fresh randomness.  The observed
+        pre-collapse probabilities — the segment-boundary snapshots —
+        are recorded through the plant's measure observer and inserted
+        into the tree together with the shot's trace.
+        """
+        samples: list[MeasurementSample] = []
+
+        def observe(qubit: int, start_ns: float, p_one: float) -> None:
+            samples.append(MeasurementSample(qubit=qubit,
+                                             start_ns=start_ns,
+                                             p_one=p_one))
+
+        self.plant.measure_observer = observe
+        if outcome_prefix:
+            self.measurement_unit.force_results(outcome_prefix)
+        try:
+            trace = self.run_shot(max_instructions)
+        finally:
+            self.plant.measure_observer = None
+            self.measurement_unit.clear_forced_results()
+        tree.grow(samples, trace)
+        return trace
 
     def run_counts(self, shots: int, max_instructions: int = 2_000_000,
                    use_replay: bool = True) -> ShotCounts:
@@ -314,10 +367,17 @@ class QuMAv2:
             counts.add(trace)
         return counts
 
+    def replay_unsupported_reasons(self) -> list[str]:
+        """Every reason the loaded program cannot use shot replay
+        (empty if it can) — the static hard-blocker analysis of
+        :func:`repro.uarch.replay.replay_unsupported_reasons`."""
+        return replay_unsupported_reasons(
+            self._instructions, self.microcode, self.measurement_unit,
+            self.isa.topology.qubits)
+
     def replay_unsupported_reason(self) -> str | None:
-        """Why the loaded program cannot use shot replay (None if it
-        can) — the static feedback analysis of
-        :func:`repro.uarch.replay.replay_unsupported_reason`."""
+        """All blocking reasons joined with "; ", or None when the
+        program is replayable."""
         return replay_unsupported_reason(
             self._instructions, self.microcode, self.measurement_unit,
             self.isa.topology.qubits)

@@ -48,6 +48,7 @@ class MeasurementUnit:
         self.config = config
         self.measurement_duration_cycles = measurement_duration_cycles
         self._mock_results: dict[int, deque[int]] = {}
+        self._forced_results: deque[tuple[int, int]] = deque()
 
     # ------------------------------------------------------------------
     # Mock-result injection (CFC verification, Section 5)
@@ -73,6 +74,30 @@ class MeasurementUnit:
         self._mock_results.clear()
 
     # ------------------------------------------------------------------
+    # Forced outcomes (branch-resolved replay growth shots)
+    # ------------------------------------------------------------------
+    def force_results(self, outcomes) -> None:
+        """Queue ``(raw, reported)`` pairs for the next measurements.
+
+        Unlike mock results, forced results are *per shot* and keyed by
+        measurement order, not qubit: the k-th measurement of the shot
+        collapses the plant onto ``raw`` and reports ``reported``.  The
+        replay engine uses this to drive an interpreter shot down an
+        already-sampled outcome prefix; once the queue drains, sampling
+        continues with fresh randomness.
+        """
+        for raw, reported in outcomes:
+            if raw not in (0, 1) or reported not in (0, 1):
+                raise ConfigurationError(
+                    f"forced outcome ({raw}, {reported}) is not a bit "
+                    f"pair")
+            self._forced_results.append((raw, reported))
+
+    def clear_forced_results(self) -> None:
+        """Drop any unconsumed forced outcomes (end of a growth shot)."""
+        self._forced_results.clear()
+
+    # ------------------------------------------------------------------
     # Measurement execution
     # ------------------------------------------------------------------
     def measurement_duration_ns(self) -> float:
@@ -87,7 +112,10 @@ class MeasurementUnit:
         caller schedules the Q-register/flag updates at that time.
         """
         duration = self.measurement_duration_ns()
-        if self.has_mock_results(qubit):
+        if self._forced_results:
+            raw, reported = self._forced_results.popleft()
+            self.plant.measure(qubit, start_ns, duration, forced=raw)
+        elif self.has_mock_results(qubit):
             raw = self._mock_results[qubit].popleft()
             reported = raw  # mock results bypass the analog chain
         else:

@@ -1,42 +1,60 @@
-"""Shot-replay fast path: compile-once / replay-N execution.
+"""Branch-resolved shot replay: an outcome-keyed timeline-segment tree.
 
-The Section 5 experiments (Rabi, AllXY, coherence, RB, surface-code
-cycles) execute the *same* assembled binary for thousands of shots.
-For a feedback-free program the classical/timing domain is completely
-deterministic: the instruction stream, the timing points, the trigger
-times and the device operations are identical in every shot — only the
-plant's stochastic operations (projective measurements and the readout
-assignment error) differ.  Real eQASM hardware exploits exactly this
-structure: timing is resolved once by the timing controller and the
-queues replay it.
+The Section 5 experiments execute the *same* assembled binary for
+thousands of shots.  PR 1 exploited the feedback-free case: with no
+``FMR``, no conditional micro-operations and no persistent stores, the
+classical/timing domain is a single deterministic timeline that can be
+captured once and replayed.  But eQASM's headline features — fast
+conditional execution (active reset, Fig. 4), CFC via ``FMR`` (Fig. 5)
+and the surface-code cycle — are all *measurement-conditioned*, and a
+single frozen timeline cannot represent them.
 
-This module mirrors that split in software:
+The generalisation implemented here rests on one observation: the
+classical/timing domain is still completely deterministic *given the
+measurement outcomes consumed so far*.  Every shot of a feedback
+program walks some path through a finite outcome tree; two shots that
+draw the same outcomes are bit-identical in every timing-domain record.
+So the engine memoises **timeline segments** in a tree keyed by the
+outcome history:
 
-* :func:`replay_unsupported_reason` — a static analysis over the
-  decoded binary that detects *feedback*: ``FMR`` (CFC measurement
-  reads), ``ST`` (persistent data-memory writes that could change
-  later shots), conditional micro-operations (fast conditional
-  execution reads execution flags set by measurement results), or
-  injected mock results (their queues drain across shots).  Any of
-  these forces the full interpreter.
-* :class:`ReplayTimeline` — captured from one full-interpreter *probe*
-  shot: the frozen trace records (triggers, slips, timing metadata),
-  the plant operation list, and a plant snapshot taken just before the
-  first stochastic operation.  Replaying a shot restores the snapshot
-  and re-executes only the stochastic suffix, re-sampling every
-  measurement against fresh randomness.
+* each **internal node** stands for "the shot so far consumed this
+  sequence of (raw, reported) measurement outcomes and is about to
+  measure qubit q"; it stores the pre-collapse ``P(1)`` of that
+  measurement — the one number distilled from the plant snapshot at
+  the segment boundary — plus up to four children keyed by the
+  ``(raw, reported)`` pair the measurement can produce;
+* each **terminal node** stores the frozen :class:`ShotTrace` captured
+  when the interpreter first completed a shot along that path — the
+  stitched timeline of all segments on the path.
 
-The machine (:meth:`repro.uarch.machine.QuMAv2.run`) engages the
-replay path automatically and falls back transparently to the
-interpreter whenever the analysis or the capture refuses a program.
+Replaying a shot is a pure tree walk: sample each measurement from the
+stored ``P(1)`` (and the readout-error model), follow the matching
+edge, and splice the sampled outcomes into the terminal template
+(:meth:`ShotTrace.with_sampled_results`).  No plant state is touched at
+all — the chain rule over per-node conditional probabilities reproduces
+the interpreter's joint outcome distribution exactly.
+
+When the walk reaches a not-yet-seen outcome edge, the engine *grows*
+the tree: it re-runs the full interpreter with the already-sampled
+outcome prefix **forced** (the measurement unit replays the sampled
+``(raw, reported)`` pairs, collapsing the plant accordingly), so the
+interpreter shot both is a statistically exact sample *and* explores
+exactly the missing branch.  For a two-measurement active-reset program
+the tree saturates after a handful of probe shots; afterwards every
+shot is pure replay.  Programs whose outcome space never saturates
+degrade transparently to interpreter throughput — every shot is then a
+(cheap) failed walk plus one genuine interpreter shot.
+
+Hard blockers remain: ``ST`` (data memory persists across shots),
+injected mock measurement results (their queues drain across shots)
+and untranslatable operations force the interpreter for the entire run
+— see :func:`replay_unsupported_reasons`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Iterable
-
-import numpy as np
 
 from repro.core.instructions import (
     ArithOp,
@@ -60,19 +78,24 @@ from repro.core.instructions import (
     Stop,
 )
 from repro.core.microcode import MicrocodeUnit
-from repro.core.operations import ExecutionFlag
-from repro.quantum.plant import PlantSnapshot, QuantumPlant
-from repro.uarch.devices import PulseLibrary
+from repro.quantum.plant import QuantumPlant
 from repro.uarch.measurement import MeasurementUnit
-from repro.uarch.trace import ResultRecord, ShotTrace
+from repro.uarch.trace import ShotTrace
 
 #: Name under which the plant logs projective measurements.
 MEASUREMENT_LOG_NAME = "MEASZ"
 
-#: Instructions whose execution cannot depend on measurement outcomes
-#: (given that FMR is absent, GPRs and comparison flags never see
-#: measurement data, so control flow and waits are deterministic).
-_REPLAYABLE_CLASSICAL = (Nop, Stop, Cmp, Br, Fbr, Ldi, Ldui, Ld,
+#: Probabilities closer than this to 0/1 are treated as deterministic
+#: when sampling a node, so a forced interpreter continuation can never
+#: be asked to collapse the plant onto a (numerically) impossible
+#: outcome.
+_DETERMINISTIC_EPS = 1e-12
+
+#: Instructions the branch-resolved engine can replay.  ``FMR`` and
+#: conditional micro-operations are *replayable* now — their behaviour
+#: is deterministic given the outcome history, which is exactly what
+#: the tree keys on.
+_REPLAYABLE_CLASSICAL = (Nop, Stop, Cmp, Br, Fbr, Fmr, Ldi, Ldui, Ld,
                          LogicalOp, Not, ArithOp, QWait, QWaitR,
                          SMIS, SMIT)
 
@@ -81,170 +104,291 @@ class ReplayError(Exception):
     """Internal signal: this program cannot be replayed — fall back."""
 
 
+@dataclass(slots=True)
+class EngineStats:
+    """Per-run execution-engine statistics.
+
+    Populated by :meth:`repro.uarch.machine.QuMAv2.run_iter` (and hence
+    :meth:`run` / :meth:`run_counts`); exposed to experiments through
+    :attr:`repro.uarch.machine.QuMAv2.engine_stats` and
+    :attr:`repro.experiments.runner.ExperimentSetup.last_engine_stats`.
+    """
+
+    #: "replay" when the branch-resolved engine drove the run,
+    #: "interpreter" when a hard blocker forced the cycle-accurate
+    #: interpreter for every shot, None before any shot ran.
+    engine: str | None = None
+    #: All hard-blocker reasons ("; "-joined) when ``engine`` is
+    #: "interpreter"; None on the replay path.
+    fallback_reason: str | None = None
+    shots_total: int = 0
+    #: Shots that ran through the full interpreter (probe/growth shots
+    #: on the replay path count here too).
+    interpreter_shots: int = 0
+    #: Shots served purely from the timeline-segment tree.
+    replay_shots: int = 0
+    #: Tree walks that found a complete cached path.
+    segment_cache_hits: int = 0
+    #: Tree walks that hit an unexplored outcome edge (each miss costs
+    #: one interpreter shot which grows the tree).
+    segment_cache_misses: int = 0
+    tree_nodes: int = 0
+    #: Fully captured outcome paths (terminal templates).
+    tree_paths: int = 0
+    #: Set when the tree refused to grow further (depth/node caps, or a
+    #: determinism violation) — remaining unseen paths keep running on
+    #: the interpreter.
+    growth_stopped_reason: str | None = None
+
+    def as_dict(self) -> dict:
+        """JSON-ready summary (used by the benchmarks)."""
+        return asdict(self)
+
+
+@dataclass(frozen=True, slots=True)
+class MeasurementSample:
+    """One measurement observed during an interpreter (growth) shot.
+
+    Recorded by the plant's measure observer *before* the collapse, in
+    chronological plant order: the measured qubit, the trigger-time
+    start of the integration window, and the pre-collapse ``P(1)`` —
+    the distilled segment-boundary snapshot the tree samples from.
+    """
+
+    qubit: int
+    start_ns: float
+    p_one: float
+
+
+def replay_unsupported_reasons(
+        instructions: Iterable[Instruction],
+        microcode: MicrocodeUnit,
+        measurement_unit: MeasurementUnit,
+        qubit_addresses: Iterable[int]) -> list[str]:
+    """Every reason a loaded binary cannot take the replay fast path.
+
+    Returns an empty list when the program is replayable.  Unlike the
+    per-shot outcome tree (which handles feedback dynamically), these
+    are *hard* blockers — anything that lets one shot observe another
+    shot's state: persistent ``ST`` stores, mock-result queues that
+    drain across shots, and operations the analysis cannot model.
+    All blockers present in the program are reported, not just the
+    first one found.
+    """
+    instructions = list(instructions)
+    if not instructions:
+        return ["no program loaded"]
+    reasons: list[str] = []
+    mocked = [qubit for qubit in qubit_addresses
+              if measurement_unit.has_mock_results(qubit)]
+    if mocked:
+        qubits = ", ".join(str(q) for q in mocked)
+        reasons.append(f"mock measurement results queued for qubit(s) "
+                       f"{qubits} (per-experiment queues drain across "
+                       f"shots)")
+    saw_store = False
+    untranslatable: list[str] = []
+    unsupported: list[str] = []
+    for instruction in instructions:
+        if isinstance(instruction, St):
+            saw_store = True
+        elif isinstance(instruction, Bundle):
+            for slot in instruction.operations:
+                try:
+                    microcode.translate_name(slot.name)
+                except Exception:
+                    if slot.name not in untranslatable:
+                        untranslatable.append(slot.name)
+        elif not isinstance(instruction, _REPLAYABLE_CLASSICAL):
+            name = type(instruction).__name__
+            if name not in unsupported:
+                unsupported.append(name)
+    if saw_store:
+        reasons.append("ST writes data memory, which persists across "
+                       "shots")
+    for name in untranslatable:
+        reasons.append(f"operation {name!r} is not translatable")
+    for name in unsupported:
+        reasons.append(f"unsupported instruction {name}")
+    return reasons
+
+
 def replay_unsupported_reason(
         instructions: Iterable[Instruction],
         microcode: MicrocodeUnit,
         measurement_unit: MeasurementUnit,
         qubit_addresses: Iterable[int]) -> str | None:
-    """Why a loaded binary cannot take the replay fast path (or None).
-
-    The analysis is conservative: anything that could make one shot
-    observe another shot's randomness — or its own measurement
-    results — disqualifies the program.
-    """
-    instructions = list(instructions)
-    if not instructions:
-        return "no program loaded"
-    for qubit in qubit_addresses:
-        if measurement_unit.has_mock_results(qubit):
-            return (f"mock measurement results queued for qubit {qubit} "
-                    f"(per-experiment queues drain across shots)")
-    for instruction in instructions:
-        if isinstance(instruction, Fmr):
-            return "FMR reads a measurement result (CFC feedback)"
-        if isinstance(instruction, St):
-            return "ST writes data memory, which persists across shots"
-        if isinstance(instruction, Bundle):
-            for slot in instruction.operations:
-                try:
-                    micro_ops = microcode.translate_name(slot.name)
-                except Exception:
-                    return f"operation {slot.name!r} is not translatable"
-                for micro_op in micro_ops:
-                    if micro_op.condition is not ExecutionFlag.ALWAYS:
-                        return (f"operation {slot.name!r} is conditioned "
-                                f"on execution flags (fast conditional "
-                                f"execution)")
-        elif not isinstance(instruction, _REPLAYABLE_CLASSICAL):
-            return (f"unsupported instruction "
-                    f"{type(instruction).__name__}")
-    return None
+    """All blocking reasons joined with "; ", or None when replayable."""
+    reasons = replay_unsupported_reasons(instructions, microcode,
+                                         measurement_unit,
+                                         qubit_addresses)
+    return "; ".join(reasons) if reasons else None
 
 
-@dataclass(frozen=True)
-class _SuffixOp:
-    """One post-snapshot plant operation, ready to re-execute."""
+class _TreeNode:
+    """One outcome-history position in the timeline tree.
 
-    is_measurement: bool
-    name: str
-    qubits: tuple[int, ...]
-    start_ns: float
-    duration_ns: float
-    unitary: np.ndarray | None = None       # gates only
-    template: ResultRecord | None = None    # measurements only
-
-
-class ReplayTimeline:
-    """A frozen timeline captured from one interpreter probe shot.
-
-    ``capture`` must be called immediately after the probe shot, while
-    the machine's plant still holds the probe's operation log.  The
-    captured timeline owns:
-
-    * the probe's :class:`ShotTrace` — its frozen trigger/slip records
-      and timing metadata are *shared* (bit-identical) with every
-      replayed trace;
-    * a :class:`~repro.quantum.plant.PlantSnapshot` of the state just
-      before the first stochastic operation, rebuilt by re-applying the
-      deterministic prefix to a fresh plant;
-    * the stochastic suffix — every operation from the first
-      measurement on, re-executed (and re-sampled) per shot.
+    Internal nodes carry the next measurement (``qubit``/``start_ns``
+    from the timeline, pre-collapse ``p_one``) and the outcome-keyed
+    children; terminal nodes carry the frozen trace ``template`` of
+    the completed path.  A node inserted by :meth:`TimelineTree.grow`
+    is always fully characterised as one or the other.
     """
 
-    def __init__(self, plant: QuantumPlant, probe: ShotTrace,
-                 snapshot: PlantSnapshot, suffix: list[_SuffixOp]):
+    __slots__ = ("qubit", "start_ns", "p_one", "children", "template")
+
+    def __init__(self):
+        self.qubit = -1                  # -1 until characterised
+        self.start_ns = 0.0
+        self.p_one = 0.0
+        self.children: dict[tuple[int, int], "_TreeNode"] = {}
+        self.template: ShotTrace | None = None
+
+
+class TimelineTree:
+    """The branch-resolved timeline-segment cache for one program run.
+
+    Built lazily by the machine during one :meth:`QuMAv2.run_iter`
+    call: interpreter shots insert their observed outcome path and
+    trace; cached shots are sampled by :meth:`sample_shot` without any
+    plant work.  Growth stops (but sampling keeps degrading gracefully
+    to interpreter shots) when the caps are hit or when two shots with
+    the same outcome history disagree — a determinism violation such as
+    timing driven by a value the outcome history does not determine.
+    """
+
+    def __init__(self, plant: QuantumPlant, max_depth: int = 64,
+                 max_nodes: int = 8192):
         self._plant = plant
-        self._probe = probe
-        self._snapshot = snapshot
-        self._suffix = suffix
+        self._readout = plant.noise.readout
+        self._root = _TreeNode()
+        self._max_depth = max_depth
+        self._max_nodes = max_nodes
+        self.node_count = 1
+        self.path_count = 0
+        #: Why the tree stopped growing (None while growth is allowed).
+        self.growth_stopped_reason: str | None = None
 
     # ------------------------------------------------------------------
-    # Capture
+    # Replay (pure tree walk)
     # ------------------------------------------------------------------
-    @classmethod
-    def capture(cls, plant: QuantumPlant, pulses: PulseLibrary,
-                probe: ShotTrace) -> "ReplayTimeline":
-        """Freeze the probe shot's timeline; raises :class:`ReplayError`
-        when the observed execution defies the replay assumptions."""
-        operations = list(plant.operations_log)
-        measurements = [op for op in operations
-                        if op.name == MEASUREMENT_LOG_NAME]
-        templates = list(probe.results)
-        if len(measurements) != len(templates):
-            raise ReplayError(
-                f"{len(measurements)} plant measurements vs "
-                f"{len(templates)} trace results")
-        # Pair the k-th measurement operation (chronological trigger
-        # order) with the k-th result record (chronological arrival
-        # order); identical integration windows keep the orders equal.
-        for op, template in zip(measurements, templates):
-            if (op.qubits != (template.qubit,) or
-                    abs(op.start_ns - template.measure_start_ns) > 1e-9):
-                raise ReplayError(
-                    f"measurement on {op.qubits} at {op.start_ns} ns does "
-                    f"not match result record for qubit {template.qubit}")
-        first_measurement = next(
-            (index for index, op in enumerate(operations)
-             if op.name == MEASUREMENT_LOG_NAME), len(operations))
-        prefix = operations[:first_measurement]
-        suffix: list[_SuffixOp] = []
-        template_index = 0
-        for op in operations[first_measurement:]:
-            if op.name == MEASUREMENT_LOG_NAME:
-                suffix.append(_SuffixOp(
-                    is_measurement=True, name=op.name, qubits=op.qubits,
-                    start_ns=op.start_ns, duration_ns=op.duration_ns,
-                    template=templates[template_index]))
-                template_index += 1
-            else:
-                suffix.append(_SuffixOp(
-                    is_measurement=False, name=op.name, qubits=op.qubits,
-                    start_ns=op.start_ns, duration_ns=op.duration_ns,
-                    unitary=pulses.unitary_for(op.name)))
-        # Rebuild the deterministic prefix on a fresh plant (consumes
-        # no randomness) and freeze the pre-measurement state.
-        plant.reset_shot()
-        for op in prefix:
-            plant.apply_unitary(op.name, pulses.unitary_for(op.name),
-                                op.qubits, op.start_ns, op.duration_ns)
-        snapshot = plant.snapshot()
-        return cls(plant=plant, probe=probe, snapshot=snapshot,
-                   suffix=suffix)
+    def sample_shot(self) -> tuple[ShotTrace | None,
+                                   list[tuple[int, int]]]:
+        """Sample one shot from the cached tree.
 
-    # ------------------------------------------------------------------
-    # Replay
-    # ------------------------------------------------------------------
-    def replay_shot(self) -> ShotTrace:
-        """One replayed shot: restore the snapshot, re-run the suffix.
-
-        Timing-domain records (triggers, slips, classical time,
-        instruction count) are shared with the probe — they are frozen
-        dataclasses, bit-identical by construction.  Measurement
-        results are re-sampled from the plant with fresh randomness.
+        Walks from the root, drawing each measurement's raw outcome
+        from the node's pre-collapse ``P(1)`` and its reported outcome
+        from the readout-error model — the same conditional
+        probabilities the interpreter would sample, so the joint
+        distribution is exact.  Returns ``(trace, outcomes)`` on a
+        complete cached path, or ``(None, outcome_prefix)`` when an
+        unexplored edge is reached; the caller then runs an interpreter
+        shot with that prefix forced.
         """
-        plant = self._plant
-        probe = self._probe
-        plant.restore(self._snapshot)
-        readout = plant.noise.readout
-        results: list[ResultRecord] = []
-        for op in self._suffix:
-            if op.is_measurement:
-                raw = plant.measure(op.qubits[0], op.start_ns,
-                                    op.duration_ns)
-                reported = readout.apply(raw, plant.rng)
-                template = op.template
-                results.append(ResultRecord(
-                    qubit=template.qubit, raw_result=raw,
-                    reported_result=reported,
-                    measure_start_ns=template.measure_start_ns,
-                    arrival_ns=template.arrival_ns))
+        rng = self._plant.rng
+        readout = self._readout
+        node = self._root
+        outcomes: list[tuple[int, int]] = []
+        while node.template is None:
+            if node.qubit < 0:
+                return None, outcomes    # cold tree: no probe yet
+            p_one = node.p_one
+            if p_one <= _DETERMINISTIC_EPS:
+                raw = 0
+            elif p_one >= 1.0 - _DETERMINISTIC_EPS:
+                raw = 1
             else:
-                plant.apply_unitary(op.name, op.unitary, op.qubits,
-                                    op.start_ns, op.duration_ns)
-        return ShotTrace(
-            triggers=list(probe.triggers),
-            results=results,
-            slips=list(probe.slips),
-            instructions_executed=probe.instructions_executed,
-            classical_time_ns=probe.classical_time_ns,
-            stop_reached=probe.stop_reached)
+                raw = 1 if rng.random() < p_one else 0
+            reported = readout.apply(raw, rng)
+            outcomes.append((raw, reported))
+            child = node.children.get((raw, reported))
+            if child is None:
+                return None, outcomes    # unexplored branch: grow here
+            node = child
+        return node.template.with_sampled_results(outcomes), outcomes
+
+    # ------------------------------------------------------------------
+    # Growth (insert an interpreter shot's observed path)
+    # ------------------------------------------------------------------
+    def grow(self, samples: list[MeasurementSample],
+             trace: ShotTrace) -> bool:
+        """Insert one interpreter shot's outcome path into the tree.
+
+        ``samples`` are the plant-order pre-collapse observations of
+        the shot; ``trace`` is its full interpreter trace.  Returns
+        False (and permanently stops growth on determinism violations)
+        when the path cannot be cached; the shot itself is still valid.
+        """
+        if self.growth_stopped_reason is not None:
+            return False
+        if len(samples) > self._max_depth:
+            self.growth_stopped_reason = (
+                f"outcome path length {len(samples)} exceeds the "
+                f"{self._max_depth}-measurement cap")
+            return False
+        try:
+            self._check_pairing(samples, trace)
+            self._insert(samples, trace)
+        except ReplayError as error:
+            self.growth_stopped_reason = str(error)
+            return False
+        return True
+
+    def _check_pairing(self, samples: list[MeasurementSample],
+                       trace: ShotTrace) -> None:
+        """The k-th plant measurement (chronological trigger order)
+        must be the k-th trace result (chronological arrival order) —
+        identical integration windows keep the orders equal, and the
+        replay splice relies on it."""
+        if len(samples) != len(trace.results):
+            raise ReplayError(
+                f"{len(samples)} plant measurements vs "
+                f"{len(trace.results)} trace results")
+        for sample, record in zip(samples, trace.results):
+            if (sample.qubit != record.qubit or
+                    abs(sample.start_ns - record.measure_start_ns) > 1e-9):
+                raise ReplayError(
+                    f"measurement on qubit {sample.qubit} at "
+                    f"{sample.start_ns} ns does not match result record "
+                    f"for qubit {record.qubit} at "
+                    f"{record.measure_start_ns} ns")
+
+    def _insert(self, samples: list[MeasurementSample],
+                trace: ShotTrace) -> None:
+        node = self._root
+        for sample, record in zip(samples, trace.results):
+            if node.template is not None:
+                raise ReplayError(
+                    "determinism violation: a shot with this outcome "
+                    "history previously terminated, this one measures "
+                    f"qubit {sample.qubit}")
+            if node.qubit < 0:
+                node.qubit = sample.qubit
+                node.start_ns = sample.start_ns
+                node.p_one = sample.p_one
+            elif (node.qubit != sample.qubit or
+                    abs(node.start_ns - sample.start_ns) > 1e-9):
+                raise ReplayError(
+                    "determinism violation: same outcome history, "
+                    f"different next measurement (qubit {node.qubit} at "
+                    f"{node.start_ns} ns vs qubit {sample.qubit} at "
+                    f"{sample.start_ns} ns) — timing depends on state "
+                    "outside the outcome history")
+            key = (record.raw_result, record.reported_result)
+            child = node.children.get(key)
+            if child is None:
+                if self.node_count >= self._max_nodes:
+                    raise ReplayError(
+                        f"timeline tree exceeds the {self._max_nodes}-"
+                        f"node cap (outcome space not saturating)")
+                child = _TreeNode()
+                node.children[key] = child
+                self.node_count += 1
+            node = child
+        if node.qubit >= 0:
+            raise ReplayError(
+                "determinism violation: a shot with this outcome "
+                "history previously kept measuring, this one stopped")
+        if node.template is None:
+            node.template = trace
+            self.path_count += 1

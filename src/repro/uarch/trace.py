@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TriggerRecord:
     """One micro-operation reaching the fast-conditional-execution unit.
 
@@ -30,7 +30,7 @@ class TriggerRecord:
     condition: str
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ResultRecord:
     """One measurement result returning to the Central Controller."""
 
@@ -41,7 +41,7 @@ class ResultRecord:
     arrival_ns: float      # when the result entered the controller
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SlipRecord:
     """The timing controller stalled waiting for a late reservation."""
 
@@ -55,7 +55,7 @@ class SlipRecord:
         return self.actual_ns - self.due_ns
 
 
-@dataclass
+@dataclass(slots=True)
 class ShotTrace:
     """Everything observed during one shot."""
 
@@ -65,6 +65,38 @@ class ShotTrace:
     instructions_executed: int = 0
     classical_time_ns: float = 0.0
     stop_reached: bool = False
+
+    def with_sampled_results(
+            self, outcomes: list[tuple[int, int]]) -> "ShotTrace":
+        """Splice freshly sampled outcomes into this frozen timeline.
+
+        The replay engines build each replayed shot from a captured
+        template: the timing-domain records (triggers, slips, classical
+        time, instruction count) are *shared* — frozen dataclasses,
+        bit-identical by construction — while the k-th result record is
+        rebuilt around the k-th sampled ``(raw, reported)`` pair,
+        keeping the template's timing metadata.
+        """
+        results = [
+            ResultRecord(qubit=record.qubit, raw_result=raw,
+                         reported_result=reported,
+                         measure_start_ns=record.measure_start_ns,
+                         arrival_ns=record.arrival_ns)
+            for record, (raw, reported)
+            in zip(self.results, outcomes, strict=True)]
+        return ShotTrace(
+            triggers=list(self.triggers),
+            results=results,
+            slips=list(self.slips),
+            instructions_executed=self.instructions_executed,
+            classical_time_ns=self.classical_time_ns,
+            stop_reached=self.stop_reached)
+
+    def outcome_path(self) -> tuple[tuple[int, int], ...]:
+        """The shot's (raw, reported) outcome pairs in result order —
+        the key the branch-resolved replay tree resolves paths by."""
+        return tuple((record.raw_result, record.reported_result)
+                     for record in self.results)
 
     def executed_operations(self) -> list[TriggerRecord]:
         """Triggers that actually drove the ADI (not cancelled)."""
@@ -88,7 +120,7 @@ class ShotTrace:
         return max((record.slip_ns for record in self.slips), default=0.0)
 
 
-@dataclass
+@dataclass(slots=True)
 class ShotCounts:
     """Streaming aggregate over many shots — O(qubits) memory.
 
@@ -107,11 +139,15 @@ class ShotCounts:
         default_factory=dict)
     total_slips: int = 0
     max_slip_ns: float = 0.0
+    #: Reused per-shot scratch buffer (qubit -> last reported result),
+    #: preallocated once so 10k+-shot runs do not churn a dict per shot.
+    _last: dict = field(default_factory=dict, repr=False, compare=False)
 
     def add(self, trace: ShotTrace) -> None:
         """Fold one shot into the aggregate."""
         self.shots += 1
-        last: dict[int, int] = {}
+        last = self._last
+        last.clear()
         for record in trace.results:
             last[record.qubit] = record.reported_result
         for qubit, bit in last.items():

@@ -168,18 +168,23 @@ class TestReplayEquivalence:
 
 
 class TestReplayFallback:
-    """Feedback programs must run on the full interpreter."""
+    """Hard blockers must run on the full interpreter; feedback
+    programs (conditional execution, CFC) now take the branch-resolved
+    replay path."""
 
-    @pytest.mark.parametrize("text,needle", [
-        (ACTIVE_RESET, "conditioned"),
-        (CFC_FMR, "FMR"),
-    ], ids=["active-reset", "cfc-fmr"])
-    def test_feedback_program_falls_back(self, text, needle):
+    @pytest.mark.parametrize("text", [ACTIVE_RESET, CFC_FMR],
+                             ids=["active-reset", "cfc-fmr"])
+    def test_feedback_program_takes_branch_replay(self, text):
         machine = make_machine(seed=5)
         load(machine, text)
-        machine.run(4)
-        assert machine.last_run_engine == "interpreter"
-        assert needle in machine.replay_fallback_reason
+        machine.run(20)
+        assert machine.last_run_engine == "replay"
+        assert machine.replay_fallback_reason is None
+        stats = machine.engine_stats
+        assert stats.shots_total == 20
+        assert stats.replay_shots > 0  # the tree served cached paths
+        assert stats.interpreter_shots + stats.replay_shots == 20
+        assert stats.segment_cache_misses == stats.interpreter_shots
 
     def test_store_instruction_falls_back(self):
         machine = make_machine()
