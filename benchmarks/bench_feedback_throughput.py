@@ -9,6 +9,19 @@ timeline tree (:mod:`repro.uarch.replay`) on exactly those feedback
 programs, and cross-checks per-outcome-path timing bit-identity plus
 measurement statistics between the engines.
 
+Two scenarios cover the formerly fallback-only cases:
+
+* **mock_cfc** — the Fig. 5 CFC-verification program with a long
+  alternating mock-result queue; the draining queue keys the timeline
+  tree's roots (cursor fingerprints), so the run replays and the
+  emitted X/Y alternation is cross-checked shot by shot against the
+  interpreter;
+* **dead_store_sweep** — a CFC program depositing its measurement
+  result to data memory (a dead store, whitelisted by the dataflow
+  pass) run as a repeated sweep: the same binary is ``run()`` several
+  times and later runs reuse the saturated tree from the machine's
+  cross-run replay cache (zero growth shots).
+
 Runs two ways:
 
 * under pytest (``pytest benchmarks/bench_feedback_throughput.py``)
@@ -36,7 +49,7 @@ except ImportError:  # script mode without PYTHONPATH=src
 import numpy as np
 
 from repro.core import Assembler, two_qubit_instantiation
-from repro.experiments.cfc import CFC_TWO_ROUND_PROGRAM
+from repro.experiments.cfc import CFC_TWO_ROUND_PROGRAM, FIG5_PROGRAM
 from repro.experiments.reset import FIG4_PROGRAM
 from repro.quantum import NoiseModel, QuantumPlant
 from repro.uarch import QuMAv2
@@ -47,6 +60,35 @@ SPEEDUP_TARGET = 5.0
 CHECK_TARGET = 3.0
 
 PROGRAMS = {"active_reset": FIG4_PROGRAM, "cfc": CFC_TWO_ROUND_PROGRAM}
+
+#: The dead_store_sweep program: two-branch CFC feedback whose result
+#: is deposited into data memory for the host — a store the dataflow
+#: pass proves dead (no LD), so the program replays.
+DEAD_STORE_PROGRAM = """
+SMIS S0, {0}
+SMIS S2, {2}
+LDI R0, 1
+QWAIT 10000
+X90 S2
+MEASZ S2
+QWAIT 50
+FMR R1, Q2
+CMP R1, R0
+BR EQ, eq
+X S0
+BR ALWAYS, join
+eq:
+Y S0
+join:
+LDI R2, 64
+ST R1, R2(0)
+QWAIT 50
+STOP
+"""
+
+#: run() calls per engine in the dead_store_sweep scenario (the sweep
+#: whose later runs must hit the cross-run tree cache).
+SWEEP_RUNS = 5
 
 
 def _make_machine(text: str, seed: int) -> QuMAv2:
@@ -115,10 +157,123 @@ def measure_program(name: str, shots: int = 2000, seed: int = 13) -> dict:
     }
 
 
+def measure_mock_cfc(shots: int = 2000, seed: int = 13) -> dict:
+    """Mock-result CFC verification at shot-sweep scale.
+
+    Both machines get the same long alternating mock queue; the
+    outcomes are therefore *fully deterministic per shot index*, so the
+    cross-check is the strongest possible one — every shot's timing
+    records must be bit-identical between the engines, and the applied
+    X/Y alternation (the paper's scope observable) must be exact.
+    """
+    pattern = [i % 2 for i in range(shots)]
+
+    def applied_ops(trace):
+        return [r.name for r in trace.triggers
+                if r.qubits == (0,) and r.executed]
+
+    interpreter = _make_machine(FIG5_PROGRAM, seed)
+    interpreter.measurement_unit.inject_mock_results(2, pattern)
+    interp_traces, interp_s = _time_run(interpreter, shots,
+                                        use_replay=False)
+    assert interpreter.last_run_engine == "interpreter"
+
+    replay = _make_machine(FIG5_PROGRAM, seed)
+    replay.measurement_unit.inject_mock_results(2, pattern)
+    replay_traces, replay_s = _time_run(replay, shots, use_replay=True)
+    assert replay.last_run_engine == "replay", \
+        f"replay refused: {replay.replay_fallback_reason}"
+    stats = replay.engine_stats
+
+    expected = [["X"], ["Y"]] * (shots // 2 + 1)
+    for index, (interp_trace, replay_trace) in enumerate(
+            zip(interp_traces, replay_traces)):
+        assert interp_trace.triggers == replay_trace.triggers
+        assert interp_trace.slips == replay_trace.slips
+        assert interp_trace.classical_time_ns == \
+            replay_trace.classical_time_ns
+        assert applied_ops(replay_trace) == expected[index], \
+            f"shot {index} broke the mock alternation"
+    assert not replay.measurement_unit.has_mock_results(2)
+    assert stats.mock_results_replayed == stats.replay_shots
+
+    return {
+        "shots": shots,
+        "interpreter_shots_per_sec": round(shots / interp_s, 1),
+        "replay_shots_per_sec": round(shots / replay_s, 1),
+        "speedup": round(interp_s / replay_s, 2),
+        "paths_checked": shots,
+        "engine_stats": stats.as_dict(),
+    }
+
+
+def measure_sweep_reuse(shots: int = 2000, seed: int = 13) -> dict:
+    """Dead-store CFC program swept: SWEEP_RUNS run() calls per engine.
+
+    The replay machine must grow its tree once and serve every later
+    run from the cross-run cache (``tree_reused`` with zero growth
+    shots); the recorded speedup is the whole-sweep wall-clock ratio.
+    """
+    per_run = max(1, shots // SWEEP_RUNS)
+
+    interpreter = _make_machine(DEAD_STORE_PROGRAM, seed)
+    start = time.perf_counter()
+    interp_traces = []
+    for _ in range(SWEEP_RUNS):
+        interp_traces.extend(interpreter.run(per_run, use_replay=False))
+    interp_s = time.perf_counter() - start
+    assert interpreter.last_run_engine == "interpreter"
+
+    replay = _make_machine(DEAD_STORE_PROGRAM, seed)
+    start = time.perf_counter()
+    replay_traces = []
+    reuse_stats = []
+    for _ in range(SWEEP_RUNS):
+        replay_traces.extend(replay.run(per_run, use_replay=True))
+        reuse_stats.append(replay.engine_stats)
+    replay_s = time.perf_counter() - start
+    assert replay.last_run_engine == "replay", \
+        f"replay refused: {replay.replay_fallback_reason}"
+    assert not reuse_stats[0].tree_reused
+    for stats in reuse_stats[1:]:
+        assert stats.tree_reused, "cross-run tree cache missed"
+    growth_after_first = sum(stats.interpreter_shots
+                             for stats in reuse_stats[1:])
+    assert growth_after_first == 0, \
+        f"{growth_after_first} growth shots after the first run"
+
+    interp_by_path = {}
+    for trace in interp_traces:
+        interp_by_path.setdefault(trace.outcome_path(), trace)
+    checked = 0
+    for trace in replay_traces:
+        reference = interp_by_path.get(trace.outcome_path())
+        if reference is None:
+            continue
+        assert reference.triggers == trace.triggers
+        assert reference.classical_time_ns == trace.classical_time_ns
+        checked += 1
+    assert checked > 0, "no outcome path common to both engines"
+
+    total = SWEEP_RUNS * per_run
+    return {
+        "shots": total,
+        "runs": SWEEP_RUNS,
+        "interpreter_shots_per_sec": round(total / interp_s, 1),
+        "replay_shots_per_sec": round(total / replay_s, 1),
+        "speedup": round(interp_s / replay_s, 2),
+        "paths_checked": checked,
+        "growth_shots_after_first_run": growth_after_first,
+        "engine_stats": reuse_stats[-1].as_dict(),
+    }
+
+
 def run_benchmark(shots: int = 2000) -> dict:
-    """Measure every program; returns the JSON-ready result tree."""
+    """Measure every scenario; returns the JSON-ready result tree."""
     programs = {name: measure_program(name, shots=shots)
                 for name in PROGRAMS}
+    programs["mock_cfc"] = measure_mock_cfc(shots=shots)
+    programs["dead_store_sweep"] = measure_sweep_reuse(shots=shots)
     return {
         "benchmark": "bench_feedback_throughput",
         "description": "interpreter vs branch-resolved replay tree, "
@@ -145,6 +300,19 @@ def test_branch_replay_speedup_cfc():
     result = measure_program("cfc", shots=2000)
     print(f"\ncfc: {result}")
     assert result["speedup"] >= SPEEDUP_TARGET
+
+
+def test_mock_cfc_speedup():
+    result = measure_mock_cfc(shots=2000)
+    print(f"\nmock_cfc: {result}")
+    assert result["speedup"] >= SPEEDUP_TARGET
+
+
+def test_dead_store_sweep_reuse_speedup():
+    result = measure_sweep_reuse(shots=2000)
+    print(f"\ndead_store_sweep: {result}")
+    assert result["speedup"] >= SPEEDUP_TARGET
+    assert result["growth_shots_after_first_run"] == 0
 
 
 # ----------------------------------------------------------------------

@@ -87,9 +87,9 @@ class CFCVerificationResult:
     """Outcome of the mock-result alternation test."""
 
     applied_operations: list[str]
-    #: Per-run engine statistics — mock results are a hard replay
-    #: blocker (their queues drain across shots), so this documents
-    #: the transparent interpreter fallback.
+    #: Per-run engine statistics — mock-result programs ride the
+    #: branch-resolved replay path (the draining queues key the
+    #: timeline tree's roots), so this documents the engine mix.
     engine_stats: EngineStats = field(default_factory=EngineStats)
 
     @property

@@ -150,8 +150,24 @@ class ExperimentSetup:
     def last_engine_stats(self) -> EngineStats:
         """Engine statistics of the most recent ``run*`` call: shots
         via interpreter vs replay, segment-cache hits/misses, fallback
-        reasons (see :class:`~repro.uarch.replay.EngineStats`)."""
+        reasons (see :class:`~repro.uarch.replay.EngineStats`).  The
+        object is *live* while a ``run_iter`` stream is being consumed
+        — use :meth:`engine_stats_snapshot` for a stable copy."""
         return self.machine.engine_stats
+
+    def engine_stats_snapshot(self) -> EngineStats:
+        """A point-in-time copy of the running engine statistics.
+
+        Long sweeps consuming :meth:`run_iter` can report the engine
+        mix mid-flight (shots so far, interpreter vs replay split,
+        segment-cache hits) without aliasing the live, still-mutating
+        stats object."""
+        return self.machine.engine_stats_snapshot()
+
+    def clear_replay_cache(self) -> None:
+        """Drop the machine's cross-run timeline-tree cache (see
+        :meth:`repro.uarch.machine.QuMAv2.clear_replay_cache`)."""
+        self.machine.clear_replay_cache()
 
     def run_circuit(self, circuit: Circuit, shots: int,
                     interval_cycles: int | None = None,

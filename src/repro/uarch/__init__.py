@@ -1,6 +1,7 @@
 """QuMA v2 microarchitecture simulator (Fig. 9 / Fig. 10)."""
 
 from repro.uarch.config import UarchConfig, slip_config
+from repro.uarch.dataflow import DataMemoryReport, analyze_data_memory
 from repro.uarch.devices import (
     DeviceEventDistributor,
     DeviceId,
@@ -10,7 +11,11 @@ from repro.uarch.devices import (
     QubitMicroOp,
 )
 from repro.uarch.machine import QuMAv2
-from repro.uarch.measurement import MeasurementUnit, PendingResult
+from repro.uarch.measurement import (
+    MeasurementUnit,
+    MockCursorView,
+    PendingResult,
+)
 from repro.uarch.quantum_pipeline import OpSel, QuantumPipeline, ReservedPoint
 from repro.uarch.replay import (
     EngineStats,
@@ -29,6 +34,7 @@ from repro.uarch.trace import (
 )
 
 __all__ = [
+    "DataMemoryReport",
     "DeviceEventDistributor",
     "DeviceId",
     "DeviceOperation",
@@ -36,6 +42,7 @@ __all__ = [
     "EventQueue",
     "MeasurementSample",
     "MeasurementUnit",
+    "MockCursorView",
     "OpSel",
     "PendingResult",
     "PulseLibrary",
@@ -51,6 +58,7 @@ __all__ = [
     "TimelineTree",
     "TriggerRecord",
     "UarchConfig",
+    "analyze_data_memory",
     "replay_unsupported_reason",
     "replay_unsupported_reasons",
     "slip_config",

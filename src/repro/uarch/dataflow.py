@@ -1,0 +1,258 @@
+"""Static dataflow analysis of data-memory traffic in a decoded binary.
+
+The branch-resolved replay engine requires shots to be independent:
+nothing one shot writes may be observed by a later shot.  Data memory
+is the only architectural state that survives :meth:`QuMAv2.reset_shot`
+(it is the host communication channel), so every ``ST`` used to be a
+hard replay blocker.  Most real programs, however, only *store* to data
+memory — they deposit measurement results for the host and never load
+them back — and those stores are dead as far as shot-to-shot coupling
+is concerned.
+
+This module proves that with a small abstract interpretation over the
+decoded instruction list:
+
+* a forward **constant-propagation** pass computes, at every reachable
+  program point, which GPRs hold statically known values (registers
+  start at zero each shot, ``LDI``/``LDUI`` introduce constants, the
+  ALU instructions fold them, and ``LD``/``FMR``/``FBR`` results are
+  unknown); the join over branch/loop edges keeps a value only when
+  every incoming path agrees;
+* the effective byte address of every reachable ``LD``/``ST`` is then
+  evaluated from the incoming state (``to_unsigned32(R[rt] + imm)``,
+  exactly the interpreter's address arithmetic);
+* a store is **dead across shots** when no load anywhere in the program
+  can alias it.  Because data memory persists across shots, "below it"
+  includes the wrap-around into the next shot, so the check is address
+  disjointness: every store and every load must have a statically known
+  address, and the two address sets must not intersect.  A program with
+  stores but no (reachable) loads is trivially safe, whatever the store
+  addresses are.
+
+The replay relaxation this buys is documented on
+:class:`DataMemoryReport`: replayed shots skip the dead stores, so
+after a replay run the data memory holds the values of the last
+*interpreter* (tree-growth) shot rather than the last shot overall.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.instructions import (
+    ArithOp,
+    Br,
+    Fbr,
+    Fmr,
+    Instruction,
+    Ld,
+    Ldi,
+    Ldui,
+    LogicalOp,
+    Not,
+    St,
+    Stop,
+)
+from repro.core.registers import ComparisonFlag, to_unsigned32
+
+#: Lattice top: the register may hold different values on different
+#: paths (or depends on run-time state such as memory or measurements).
+_UNKNOWN = object()
+
+
+@dataclass(frozen=True)
+class DataMemoryReport:
+    """What the pass proved about a program's ``LD``/``ST`` traffic.
+
+    ``live_reasons`` is empty exactly when the program is replay-safe:
+    every (reachable) store is dead across shots.  When replay runs
+    such a program, cached shots never execute the stores, so the data
+    memory a host would read afterwards reflects the last tree-growth
+    (interpreter) shot, not the last shot overall — acceptable because
+    the proof says no in-program load observes those addresses.
+    """
+
+    #: Reachable ST instructions.
+    store_count: int
+    #: Reachable LD instructions.
+    load_count: int
+    #: Stores proven dead across shots (== store_count when safe).
+    dead_store_count: int
+    #: Every reason the stores are (or may be) live; empty when safe.
+    live_reasons: tuple[str, ...]
+
+    @property
+    def replay_safe(self) -> bool:
+        """True when no load can observe any store, this shot or later."""
+        return not self.live_reasons
+
+
+def _join(into: dict | None, other: dict) -> tuple[dict, bool]:
+    """Merge ``other`` into state ``into``; missing keys read as 0.
+
+    Returns the merged state and whether it differs from ``into``.
+    """
+    if into is None:
+        return dict(other), True
+    merged = {}
+    for register in set(into) | set(other):
+        a = into.get(register, 0)
+        b = other.get(register, 0)
+        merged[register] = a if a is b or a == b else _UNKNOWN
+    changed = any(merged.get(register, 0) != into.get(register, 0)
+                  for register in set(merged) | set(into))
+    return merged, changed
+
+
+def _transfer(state: dict, instruction: Instruction) -> dict:
+    """Abstract execution of one instruction (register effects only)."""
+
+    def read(register: int):
+        return state.get(register, 0)
+
+    out = dict(state)
+    if isinstance(instruction, Ldi):
+        out[instruction.rd] = to_unsigned32(instruction.imm)
+    elif isinstance(instruction, Ldui):
+        low = read(instruction.rs)
+        if low is _UNKNOWN:
+            out[instruction.rd] = _UNKNOWN
+        else:
+            out[instruction.rd] = ((instruction.imm & 0x7FFF) << 17) | \
+                (low & 0x1FFFF)
+    elif isinstance(instruction, (Ld, Fmr, Fbr)):
+        # Memory contents, measurement results and comparison flags are
+        # run-time state the static pass does not model.
+        out[instruction.rd] = _UNKNOWN
+    elif isinstance(instruction, Not):
+        value = read(instruction.rt)
+        out[instruction.rd] = _UNKNOWN if value is _UNKNOWN else \
+            to_unsigned32(~value)
+    elif isinstance(instruction, (LogicalOp, ArithOp)):
+        s = read(instruction.rs)
+        t = read(instruction.rt)
+        if s is _UNKNOWN or t is _UNKNOWN:
+            out[instruction.rd] = _UNKNOWN
+        else:
+            name = instruction.mnemonic_name
+            if name == "AND":
+                result = s & t
+            elif name == "OR":
+                result = s | t
+            elif name == "XOR":
+                result = s ^ t
+            elif name == "ADD":
+                result = s + t
+            else:  # SUB
+                result = s - t
+            out[instruction.rd] = to_unsigned32(result)
+    return out
+
+
+def _successors(index: int, instruction: Instruction,
+                length: int) -> list[int]:
+    """CFG successors of the instruction at ``index`` (in-range only)."""
+    if isinstance(instruction, Stop):
+        return []
+    if isinstance(instruction, Br) and isinstance(instruction.target, int):
+        if instruction.condition is ComparisonFlag.ALWAYS:
+            targets = [index + instruction.target]
+        elif instruction.condition is ComparisonFlag.NEVER:
+            targets = [index + 1]
+        else:
+            targets = [index + 1, index + instruction.target]
+        return [t for t in targets if 0 <= t < length]
+    return [t for t in (index + 1,) if 0 <= t < length]
+
+
+def analyze_data_memory(
+        instructions: Iterable[Instruction]) -> DataMemoryReport:
+    """Prove which stores are dead across shots (see module docstring)."""
+    instructions = list(instructions)
+    if any(isinstance(i, Br) and isinstance(i.target, str)
+           for i in instructions):
+        # Unresolved labels never reach the machine (the assembler
+        # resolves them); refuse to reason rather than mis-prove.
+        has_store = any(isinstance(i, St) for i in instructions)
+        reasons = ("program has unresolved branch labels — store "
+                   "liveness cannot be proven",) if has_store else ()
+        return DataMemoryReport(
+            store_count=sum(isinstance(i, St) for i in instructions),
+            load_count=sum(isinstance(i, Ld) for i in instructions),
+            dead_store_count=0, live_reasons=reasons)
+
+    # Phase 1: constant propagation to a fixpoint over the CFG.
+    states: dict[int, dict] = {}
+    worklist: list[int] = []
+    if instructions:
+        states[0] = {}
+        worklist.append(0)
+    while worklist:
+        index = worklist.pop()
+        out = _transfer(states[index], instructions[index])
+        for successor in _successors(index, instructions[index],
+                                     len(instructions)):
+            merged, changed = _join(states.get(successor), out)
+            if changed:
+                states[successor] = merged
+                worklist.append(successor)
+
+    # Phase 2: evaluate every reachable access address from its
+    # incoming (fixpoint) state.
+    def address_of(state: dict, base: int, imm: int):
+        value = state.get(base, 0)
+        return _UNKNOWN if value is _UNKNOWN else to_unsigned32(value + imm)
+
+    stores: list[tuple[int, object]] = []
+    loads: list[tuple[int, object]] = []
+    for index, state in states.items():
+        instruction = instructions[index]
+        if isinstance(instruction, St):
+            stores.append((index, address_of(state, instruction.rt,
+                                             instruction.imm)))
+        elif isinstance(instruction, Ld):
+            loads.append((index, address_of(state, instruction.rt,
+                                            instruction.imm)))
+
+    if not stores or not loads:
+        # No stores: nothing persists.  No loads: nothing can observe
+        # what persisted, so every store is dead across shots.
+        return DataMemoryReport(store_count=len(stores),
+                                load_count=len(loads),
+                                dead_store_count=len(stores),
+                                live_reasons=())
+
+    reasons: list[str] = []
+    unknown_loads = sorted(pc for pc, addr in loads if addr is _UNKNOWN)
+    known_load_addresses = {addr for _, addr in loads
+                            if addr is not _UNKNOWN}
+    unknown_stores = sorted(pc for pc, addr in stores if addr is _UNKNOWN)
+    if unknown_stores:
+        pcs = ", ".join(str(pc) for pc in unknown_stores)
+        reasons.append(
+            f"ST at pc {pcs} writes data memory at a statically unknown "
+            f"address — a LD may observe it across shots")
+    if unknown_loads:
+        pcs = ", ".join(str(pc) for pc in unknown_loads)
+        reasons.append(
+            f"LD at pc {pcs} reads data memory at a statically unknown "
+            f"address — it may observe a ST from an earlier shot")
+    dead = 0
+    overlapping: list[tuple[int, int]] = []
+    for pc, addr in stores:
+        if addr is _UNKNOWN:
+            continue
+        if addr in known_load_addresses:
+            overlapping.append((pc, addr))
+        elif not unknown_loads:
+            dead += 1
+    if overlapping:
+        detail = ", ".join(f"pc {pc} -> address {addr:#x}"
+                           for pc, addr in overlapping)
+        reasons.append(
+            f"ST writes data memory that LD reads back ({detail}) — "
+            f"the stored values are live across shots")
+    return DataMemoryReport(store_count=len(stores), load_count=len(loads),
+                            dead_store_count=dead,
+                            live_reasons=tuple(reasons))

@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, Iterator
 
@@ -87,6 +88,7 @@ from repro.uarch.devices import (
     PulseLibrary,
     QubitMicroOp,
 )
+from repro.uarch.dataflow import DataMemoryReport, analyze_data_memory
 from repro.uarch.measurement import MeasurementUnit, PendingResult
 from repro.uarch.quantum_pipeline import QuantumPipeline, ReservedPoint
 from repro.uarch.replay import (
@@ -96,6 +98,7 @@ from repro.uarch.replay import (
     replay_unsupported_reason,
     replay_unsupported_reasons,
 )
+
 from repro.uarch.trace import (
     ResultRecord,
     ShotCounts,
@@ -103,6 +106,9 @@ from repro.uarch.trace import (
     SlipRecord,
     TriggerRecord,
 )
+
+#: Bound on retained cross-run timeline trees (LRU eviction).
+_TREE_CACHE_CAPACITY = 16
 
 
 #: Events at equal timestamps resolve by priority: measurement results
@@ -166,6 +172,16 @@ class QuMAv2:
         #: Per-run engine statistics (shots per engine, segment-cache
         #: hits/misses, fallback reasons); replaced by each run_iter().
         self.engine_stats = EngineStats()
+        #: Cross-run replay cache: saturated timeline trees keyed by
+        #: (binary words, noise model, config) so repeated sweeps over
+        #: one binary skip re-growing the tree per run() call.  The
+        #: frozen noise/config dataclasses key by value, which is what
+        #: invalidates a reused tree when either is swapped out.
+        self._tree_cache: OrderedDict[tuple, TimelineTree] = OrderedDict()
+        self._binary_key: tuple[int, ...] = ()
+        # Per-binary static analyses, memoised until the next load().
+        self._data_memory_report: DataMemoryReport | None = None
+        self._mock_clamp_by_depth: dict[int, int] = {}
         self._reset_shot_state()
 
     # ------------------------------------------------------------------
@@ -184,6 +200,9 @@ class QuMAv2:
             words = list(program)
         decoder = InstructionDecoder(self.isa)
         self._instructions = [decoder.decode(word) for word in words]
+        self._binary_key = tuple(words)
+        self._data_memory_report = None
+        self._mock_clamp_by_depth = {}
 
     # ------------------------------------------------------------------
     # Shot state
@@ -254,14 +273,15 @@ class QuMAv2:
 
         Replayable programs — including feedback programs using ``FMR``
         (CFC) and conditional micro-operations (fast conditional
-        execution / active reset) — take the branch-resolved replay
-        fast path (see :mod:`repro.uarch.replay`): interpreter shots
-        grow an outcome-keyed timeline-segment tree, and every shot
-        whose sampled outcome path is already cached is served as a
-        pure tree walk.  Hard blockers (``ST`` to persistent data
-        memory, injected mock results, untranslatable operations) fall
-        back to the interpreter transparently; ``use_replay=False``
-        forces the interpreter.
+        execution / active reset), programs with injected mock results
+        (replayed through cursor-keyed tree roots) and programs whose
+        data-memory stores the dataflow pass proves dead — take the
+        branch-resolved replay fast path (see :mod:`repro.uarch.replay`):
+        interpreter shots grow an outcome-keyed timeline-segment tree,
+        and every shot whose sampled outcome path is already cached is
+        served as a pure tree walk.  Hard blockers (live ``ST`` stores,
+        untranslatable operations) fall back to the interpreter
+        transparently; ``use_replay=False`` forces the interpreter.
         """
         return list(self.run_iter(shots, max_instructions,
                                   use_replay=use_replay))
@@ -305,24 +325,126 @@ class QuMAv2:
         self.last_run_engine = "replay"
         self.replay_fallback_reason = None
         stats.engine = "replay"
-        tree = TimelineTree(self.plant)
+        report = self.data_memory_report()  # memoised: reasons used it
+        stats.dead_stores = report.dead_store_count
+        tree, stats.tree_reused = self._replay_tree(
+            cacheable=report.load_count == 0)
+        stats.tree_nodes = tree.node_count
+        stats.tree_paths = tree.path_count
+        stats.tree_roots = tree.root_count
+        stats.growth_stopped_reason = tree.growth_stopped_reason
+        measurement_unit = self.measurement_unit
+        mock_clamp = self._mock_fingerprint_clamp(tree.max_depth)
         for _ in range(shots):
             stats.shots_total += 1
-            trace, outcome_prefix = tree.sample_shot()
+            mock_view = measurement_unit.mock_view(mock_clamp)
+            trace, outcome_prefix = tree.sample_shot(mock_view)
             if trace is not None:
+                mock_view.commit()
                 stats.replay_shots += 1
                 stats.segment_cache_hits += 1
+                stats.mock_results_replayed += mock_view.consumed
                 yield trace
                 continue
             stats.segment_cache_misses += 1
             stats.interpreter_shots += 1
-            yield self._grow_tree_shot(tree, outcome_prefix,
-                                       max_instructions)
+            yield self._grow_tree_shot(tree, mock_view.fingerprint,
+                                       outcome_prefix, max_instructions)
             stats.tree_nodes = tree.node_count
             stats.tree_paths = tree.path_count
+            stats.tree_roots = tree.root_count
             stats.growth_stopped_reason = tree.growth_stopped_reason
 
-    def _grow_tree_shot(self, tree: TimelineTree,
+    def data_memory_report(self) -> DataMemoryReport:
+        """The dataflow pass's verdict on the loaded binary's ``LD``/
+        ``ST`` traffic (memoised until the next :meth:`load`) — see
+        :func:`repro.uarch.dataflow.analyze_data_memory`."""
+        if self._data_memory_report is None:
+            self._data_memory_report = \
+                analyze_data_memory(self._instructions)
+        return self._data_memory_report
+
+    def _mock_fingerprint_clamp(self, max_depth: int) -> int:
+        """Per-qubit clamp for mock-cursor fingerprints (see
+        :meth:`MeasurementUnit.mock_fingerprint`), memoised per binary.
+
+        Cursor states whose remaining queue exceeds what one shot can
+        consume are behaviourally identical, so the tighter the bound
+        on per-shot mock consumption, the more cursor states share a
+        tree root.  For a loop-free binary (no backward branch) every
+        instruction executes at most once per shot, so no qubit can be
+        measured more often than the program has measurement slots —
+        usually 1-3, collapsing a draining queue of thousands of
+        results onto a handful of roots.  A potentially looping binary
+        falls back to the tree depth cap (paths longer than that are
+        uncacheable anyway).
+        """
+        cached = self._mock_clamp_by_depth.get(max_depth)
+        if cached is not None:
+            return cached
+        slots = 0
+        for index, instruction in enumerate(self._instructions):
+            if isinstance(instruction, Br):
+                target = instruction.target
+                if not isinstance(target, int) or index + target <= index:
+                    slots = None  # backward branch: may loop
+                    break
+            elif isinstance(instruction, Bundle):
+                for slot in instruction.operations:
+                    try:
+                        micro_ops = self.microcode.translate_name(slot.name)
+                    except Exception:
+                        continue
+                    slots += sum(op.is_measurement for op in micro_ops)
+        clamp = max_depth if slots is None else min(max_depth, slots)
+        self._mock_clamp_by_depth[max_depth] = clamp
+        return clamp
+
+    def _replay_tree(self, cacheable: bool) -> tuple[TimelineTree, bool]:
+        """The timeline tree for the loaded binary: reused from the
+        keyed cross-run cache when the (binary, noise, config) key
+        matches an earlier ``run``, freshly grown otherwise.
+
+        ``cacheable`` must be False for binaries with reachable ``LD``
+        instructions: data memory is the host communication channel and
+        persists across runs, so the host may rewrite a loaded address
+        between ``run()`` calls — state the cache key cannot see.  Such
+        programs still replay (every shot of one run reads the same
+        values), but their tree lives only for the duration of the run.
+        """
+        if not cacheable:
+            return TimelineTree(self.plant), False
+        key = (self._binary_key, self.plant.noise, self.config)
+        tree = self._tree_cache.get(key)
+        if tree is not None:
+            self._tree_cache.move_to_end(key)
+            return tree, True
+        tree = TimelineTree(self.plant)
+        self._tree_cache[key] = tree
+        while len(self._tree_cache) > _TREE_CACHE_CAPACITY:
+            self._tree_cache.popitem(last=False)
+        return tree, False
+
+    def clear_replay_cache(self) -> None:
+        """Drop every cached cross-run timeline tree.
+
+        Key-based invalidation is automatic (the cache keys by binary
+        words plus the frozen noise/config dataclasses); this is the
+        explicit hatch for callers that mutate state the key cannot
+        see — e.g. re-seeding experiments that must re-grow trees.
+        """
+        self._tree_cache.clear()
+
+    def engine_stats_snapshot(self) -> EngineStats:
+        """A point-in-time copy of the live per-run statistics.
+
+        :attr:`engine_stats` mutates while :meth:`run_iter` streams;
+        long sweeps that report the engine mix mid-flight snapshot it
+        instead of aliasing the live object.
+        """
+        return self.engine_stats.snapshot()
+
+    def _grow_tree_shot(self, tree: TimelineTree, root_key: tuple,
                         outcome_prefix: list[tuple[int, int]],
                         max_instructions: int) -> ShotTrace:
         """One interpreter shot that extends the timeline tree.
@@ -332,8 +454,10 @@ class QuMAv2:
         interpreter re-derives exactly the missing branch; measurements
         beyond the prefix sample fresh randomness.  The observed
         pre-collapse probabilities — the segment-boundary snapshots —
-        are recorded through the plant's measure observer and inserted
-        into the tree together with the shot's trace.
+        are recorded through the plant's measure observer (mocked
+        measurements, which never touch the plant, through the
+        measurement unit's mock observer) and inserted into the tree
+        under the shot's mock-cursor root.
         """
         samples: list[MeasurementSample] = []
 
@@ -342,15 +466,23 @@ class QuMAv2:
                                              start_ns=start_ns,
                                              p_one=p_one))
 
+        def observe_mock(qubit: int, start_ns: float, value: int) -> None:
+            samples.append(MeasurementSample(qubit=qubit,
+                                             start_ns=start_ns,
+                                             p_one=float(value),
+                                             mocked=True))
+
         self.plant.measure_observer = observe
+        self.measurement_unit.mock_observer = observe_mock
         if outcome_prefix:
             self.measurement_unit.force_results(outcome_prefix)
         try:
             trace = self.run_shot(max_instructions)
         finally:
             self.plant.measure_observer = None
+            self.measurement_unit.mock_observer = None
             self.measurement_unit.clear_forced_results()
-        tree.grow(samples, trace)
+        tree.grow(samples, trace, root_key=root_key)
         return trace
 
     def run_counts(self, shots: int, max_instructions: int = 2_000_000,
@@ -373,7 +505,8 @@ class QuMAv2:
         :func:`repro.uarch.replay.replay_unsupported_reasons`."""
         return replay_unsupported_reasons(
             self._instructions, self.microcode, self.measurement_unit,
-            self.isa.topology.qubits)
+            self.isa.topology.qubits,
+            data_memory_report=self.data_memory_report())
 
     def replay_unsupported_reason(self) -> str | None:
         """All blocking reasons joined with "; ", or None when the

@@ -45,15 +45,32 @@ shot is pure replay.  Programs whose outcome space never saturates
 degrade transparently to interpreter throughput — every shot is then a
 (cheap) failed walk plus one genuine interpreter shot.
 
-Hard blockers remain: ``ST`` (data memory persists across shots),
-injected mock measurement results (their queues drain across shots)
-and untranslatable operations force the interpreter for the entire run
-— see :func:`replay_unsupported_reasons`.
+**Mocked measurements** (the paper's CFC verification programs the
+UHFQC to fabricate results) replay too.  A mocked measurement is
+deterministic given the per-qubit mock *cursor* at the start of the
+shot, so the tree keeps one root per cursor fingerprint
+(:meth:`repro.uarch.measurement.MeasurementUnit.mock_fingerprint`):
+within a root, every node knows whether its measurement is mocked, a
+walk reads the value the cursor would deliver
+(:class:`~repro.uarch.measurement.MockCursorView`, committed only on a
+complete cached walk so the queues drain exactly as the interpreter
+would drain them), and the readout-error model is bypassed just as the
+real mock path bypasses the analog chain.
+
+**Dead stores** don't block replay either: the static pass in
+:mod:`repro.uarch.dataflow` proves when no ``LD`` can observe any
+``ST`` (this shot or, because data memory persists, any later shot) —
+such programs replay, with the documented relaxation that after a
+replay run the data memory holds the last *growth* shot's stores.
+
+The remaining hard blockers — a live (or unprovably dead) store, and
+operations the analysis cannot model — force the interpreter for the
+entire run; see :func:`replay_unsupported_reasons`.
 """
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, replace
 from typing import Iterable
 
 from repro.core.instructions import (
@@ -79,6 +96,7 @@ from repro.core.instructions import (
 )
 from repro.core.microcode import MicrocodeUnit
 from repro.quantum.plant import QuantumPlant
+from repro.uarch.dataflow import analyze_data_memory
 from repro.uarch.measurement import MeasurementUnit
 from repro.uarch.trace import ShotTrace
 
@@ -94,10 +112,11 @@ _DETERMINISTIC_EPS = 1e-12
 #: Instructions the branch-resolved engine can replay.  ``FMR`` and
 #: conditional micro-operations are *replayable* now — their behaviour
 #: is deterministic given the outcome history, which is exactly what
-#: the tree keys on.
+#: the tree keys on.  ``St`` is handled separately: the dataflow pass
+#: whitelists provably dead stores.
 _REPLAYABLE_CLASSICAL = (Nop, Stop, Cmp, Br, Fbr, Fmr, Ldi, Ldui, Ld,
                          LogicalOp, Not, ArithOp, QWait, QWaitR,
-                         SMIS, SMIT)
+                         SMIS, SMIT, St)
 
 
 class ReplayError(Exception):
@@ -112,6 +131,8 @@ class EngineStats:
     :meth:`run` / :meth:`run_counts`); exposed to experiments through
     :attr:`repro.uarch.machine.QuMAv2.engine_stats` and
     :attr:`repro.experiments.runner.ExperimentSetup.last_engine_stats`.
+    The object updates *live* while ``run_iter`` streams — long sweeps
+    can report the engine mix mid-flight via :meth:`snapshot`.
     """
 
     #: "replay" when the branch-resolved engine drove the run,
@@ -135,6 +156,16 @@ class EngineStats:
     tree_nodes: int = 0
     #: Fully captured outcome paths (terminal templates).
     tree_paths: int = 0
+    #: Distinct mock-cursor roots of the tree (1 without mocks).
+    tree_roots: int = 0
+    #: True when this run reused a timeline tree saturated by an
+    #: earlier ``run()`` over the same binary/noise/config.
+    tree_reused: bool = False
+    #: Mock results served from the cursor view on cached walks (the
+    #: queues drain identically to the interpreter's consumption).
+    mock_results_replayed: int = 0
+    #: ST instructions the dataflow pass proved dead across shots.
+    dead_stores: int = 0
     #: Set when the tree refused to grow further (depth/node caps, or a
     #: determinism violation) — remaining unseen paths keep running on
     #: the interpreter.
@@ -144,55 +175,68 @@ class EngineStats:
         """JSON-ready summary (used by the benchmarks)."""
         return asdict(self)
 
+    def snapshot(self) -> "EngineStats":
+        """An independent copy of the running statistics.
+
+        ``run_iter`` mutates one :class:`EngineStats` in place as shots
+        stream; a mid-flight consumer that wants a stable point-in-time
+        view (e.g. progress reporting every N shots of a long sweep)
+        takes a snapshot instead of aliasing the live object.
+        """
+        return replace(self)
+
 
 @dataclass(frozen=True, slots=True)
 class MeasurementSample:
     """One measurement observed during an interpreter (growth) shot.
 
-    Recorded by the plant's measure observer *before* the collapse, in
-    chronological plant order: the measured qubit, the trigger-time
-    start of the integration window, and the pre-collapse ``P(1)`` —
-    the distilled segment-boundary snapshot the tree samples from.
+    Recorded in chronological plant order: the measured qubit, the
+    trigger-time start of the integration window, and the pre-collapse
+    ``P(1)`` — the distilled segment-boundary snapshot the tree samples
+    from.  Plant measurements are recorded by the plant's measure
+    observer *before* the collapse; mocked measurements (which never
+    touch the plant) by the measurement unit's mock observer, with
+    ``mocked=True`` and the fabricated bit standing in for ``p_one``.
     """
 
     qubit: int
     start_ns: float
     p_one: float
+    mocked: bool = False
 
 
 def replay_unsupported_reasons(
         instructions: Iterable[Instruction],
         microcode: MicrocodeUnit,
         measurement_unit: MeasurementUnit,
-        qubit_addresses: Iterable[int]) -> list[str]:
+        qubit_addresses: Iterable[int],
+        data_memory_report=None) -> list[str]:
     """Every reason a loaded binary cannot take the replay fast path.
 
     Returns an empty list when the program is replayable.  Unlike the
     per-shot outcome tree (which handles feedback dynamically), these
     are *hard* blockers — anything that lets one shot observe another
-    shot's state: persistent ``ST`` stores, mock-result queues that
-    drain across shots, and operations the analysis cannot model.
-    All blockers present in the program are reported, not just the
-    first one found.
+    shot's state the tree cannot key on: data-memory stores the
+    dataflow pass cannot prove dead (:mod:`repro.uarch.dataflow`), and
+    operations the analysis cannot model.  Injected mock results are
+    *not* blockers any more — their queues are replayed through
+    cursor-keyed tree roots; the ``measurement_unit`` parameter is kept
+    for signature stability.  All blockers present in the program are
+    reported, not just the first one found.  ``data_memory_report``
+    lets a caller that already ran the dataflow pass (the machine
+    memoises it per binary) avoid recomputing it.
     """
+    del measurement_unit, qubit_addresses  # no longer blockers
     instructions = list(instructions)
     if not instructions:
         return ["no program loaded"]
-    reasons: list[str] = []
-    mocked = [qubit for qubit in qubit_addresses
-              if measurement_unit.has_mock_results(qubit)]
-    if mocked:
-        qubits = ", ".join(str(q) for q in mocked)
-        reasons.append(f"mock measurement results queued for qubit(s) "
-                       f"{qubits} (per-experiment queues drain across "
-                       f"shots)")
-    saw_store = False
+    if data_memory_report is None:
+        data_memory_report = analyze_data_memory(instructions)
+    reasons: list[str] = list(data_memory_report.live_reasons)
     untranslatable: list[str] = []
     unsupported: list[str] = []
     for instruction in instructions:
-        if isinstance(instruction, St):
-            saw_store = True
-        elif isinstance(instruction, Bundle):
+        if isinstance(instruction, Bundle):
             for slot in instruction.operations:
                 try:
                     microcode.translate_name(slot.name)
@@ -203,9 +247,6 @@ def replay_unsupported_reasons(
             name = type(instruction).__name__
             if name not in unsupported:
                 unsupported.append(name)
-    if saw_store:
-        reasons.append("ST writes data memory, which persists across "
-                       "shots")
     for name in untranslatable:
         reasons.append(f"operation {name!r} is not translatable")
     for name in unsupported:
@@ -229,77 +270,120 @@ class _TreeNode:
     """One outcome-history position in the timeline tree.
 
     Internal nodes carry the next measurement (``qubit``/``start_ns``
-    from the timeline, pre-collapse ``p_one``) and the outcome-keyed
-    children; terminal nodes carry the frozen trace ``template`` of
-    the completed path.  A node inserted by :meth:`TimelineTree.grow`
-    is always fully characterised as one or the other.
+    from the timeline; pre-collapse ``p_one`` for plant measurements,
+    ``mocked`` for fabricated ones) and the outcome-keyed children;
+    terminal nodes carry the frozen trace ``template`` of the completed
+    path.  A node inserted by :meth:`TimelineTree.grow` is always fully
+    characterised as one or the other.
     """
 
-    __slots__ = ("qubit", "start_ns", "p_one", "children", "template")
+    __slots__ = ("qubit", "start_ns", "p_one", "mocked", "children",
+                 "template")
 
     def __init__(self):
         self.qubit = -1                  # -1 until characterised
         self.start_ns = 0.0
         self.p_one = 0.0
+        self.mocked = False
         self.children: dict[tuple[int, int], "_TreeNode"] = {}
         self.template: ShotTrace | None = None
 
 
 class TimelineTree:
-    """The branch-resolved timeline-segment cache for one program run.
+    """The branch-resolved timeline-segment cache for one binary.
 
-    Built lazily by the machine during one :meth:`QuMAv2.run_iter`
-    call: interpreter shots insert their observed outcome path and
-    trace; cached shots are sampled by :meth:`sample_shot` without any
-    plant work.  Growth stops (but sampling keeps degrading gracefully
-    to interpreter shots) when the caps are hit or when two shots with
-    the same outcome history disagree — a determinism violation such as
-    timing driven by a value the outcome history does not determine.
+    Built lazily by the machine during :meth:`QuMAv2.run_iter` calls
+    (and reused across calls through the machine's keyed replay cache):
+    interpreter shots insert their observed outcome path and trace;
+    cached shots are sampled by :meth:`sample_shot` without any plant
+    work.  Programs with injected mock results hold one *root* per
+    mock-cursor fingerprint — within a root the mocked/unmocked pattern
+    along every path is invariant, so mocked nodes read their outcome
+    from the per-shot cursor view instead of sampling.  Growth stops
+    (but sampling keeps degrading gracefully to interpreter shots) when
+    the caps are hit or when two shots with the same outcome history
+    disagree — a determinism violation such as timing driven by a value
+    the outcome history does not determine.
     """
 
     def __init__(self, plant: QuantumPlant, max_depth: int = 64,
                  max_nodes: int = 8192):
         self._plant = plant
         self._readout = plant.noise.readout
-        self._root = _TreeNode()
+        self._roots: dict[tuple, _TreeNode] = {}
         self._max_depth = max_depth
         self._max_nodes = max_nodes
-        self.node_count = 1
+        self.node_count = 0
         self.path_count = 0
         #: Why the tree stopped growing (None while growth is allowed).
         self.growth_stopped_reason: str | None = None
 
+    @property
+    def max_depth(self) -> int:
+        """Longest cacheable outcome path — also the clamp for mock
+        fingerprints (a path can consume at most this many mocks)."""
+        return self._max_depth
+
+    @property
+    def root_count(self) -> int:
+        """Distinct mock-cursor roots grown so far."""
+        return len(self._roots)
+
+    def _root(self, key: tuple) -> _TreeNode:
+        root = self._roots.get(key)
+        if root is None:
+            root = _TreeNode()
+            self._roots[key] = root
+            self.node_count += 1
+        return root
+
     # ------------------------------------------------------------------
     # Replay (pure tree walk)
     # ------------------------------------------------------------------
-    def sample_shot(self) -> tuple[ShotTrace | None,
-                                   list[tuple[int, int]]]:
+    def sample_shot(self, mock_view=None) -> tuple[ShotTrace | None,
+                                                   list[tuple[int, int]]]:
         """Sample one shot from the cached tree.
 
-        Walks from the root, drawing each measurement's raw outcome
-        from the node's pre-collapse ``P(1)`` and its reported outcome
-        from the readout-error model — the same conditional
-        probabilities the interpreter would sample, so the joint
-        distribution is exact.  Returns ``(trace, outcomes)`` on a
-        complete cached path, or ``(None, outcome_prefix)`` when an
-        unexplored edge is reached; the caller then runs an interpreter
-        shot with that prefix forced.
+        Walks from the root selected by ``mock_view.fingerprint`` (the
+        plain root when ``mock_view`` is None), drawing each plant
+        measurement's raw outcome from the node's pre-collapse ``P(1)``
+        and its reported outcome from the readout-error model — the
+        same conditional probabilities the interpreter would sample, so
+        the joint distribution is exact.  Mocked nodes instead read the
+        fabricated bit from the cursor view (raw == reported, no
+        readout error — mocks bypass the analog chain).  Returns
+        ``(trace, outcomes)`` on a complete cached path, or
+        ``(None, outcome_prefix)`` when an unexplored edge is reached;
+        the caller then runs an interpreter shot with that prefix
+        forced (and, on success, commits the view's mock consumption).
         """
         rng = self._plant.rng
         readout = self._readout
-        node = self._root
+        key = () if mock_view is None else mock_view.fingerprint
+        node = self._roots.get(key)
         outcomes: list[tuple[int, int]] = []
+        if node is None:
+            return None, outcomes        # unexplored root: no probe yet
         while node.template is None:
             if node.qubit < 0:
-                return None, outcomes    # cold tree: no probe yet
-            p_one = node.p_one
-            if p_one <= _DETERMINISTIC_EPS:
-                raw = 0
-            elif p_one >= 1.0 - _DETERMINISTIC_EPS:
-                raw = 1
+                return None, outcomes    # cold node: no probe yet
+            if node.mocked:
+                value = None if mock_view is None else \
+                    mock_view.peek(node.qubit)
+                if value is None:
+                    # The queue state diverged from the fingerprint's
+                    # guarantee (should not happen); miss cleanly.
+                    return None, outcomes
+                raw = reported = value
             else:
-                raw = 1 if rng.random() < p_one else 0
-            reported = readout.apply(raw, rng)
+                p_one = node.p_one
+                if p_one <= _DETERMINISTIC_EPS:
+                    raw = 0
+                elif p_one >= 1.0 - _DETERMINISTIC_EPS:
+                    raw = 1
+                else:
+                    raw = 1 if rng.random() < p_one else 0
+                reported = readout.apply(raw, rng)
             outcomes.append((raw, reported))
             child = node.children.get((raw, reported))
             if child is None:
@@ -311,13 +395,15 @@ class TimelineTree:
     # Growth (insert an interpreter shot's observed path)
     # ------------------------------------------------------------------
     def grow(self, samples: list[MeasurementSample],
-             trace: ShotTrace) -> bool:
+             trace: ShotTrace, root_key: tuple = ()) -> bool:
         """Insert one interpreter shot's outcome path into the tree.
 
-        ``samples`` are the plant-order pre-collapse observations of
-        the shot; ``trace`` is its full interpreter trace.  Returns
-        False (and permanently stops growth on determinism violations)
-        when the path cannot be cached; the shot itself is still valid.
+        ``samples`` are the chronological segment-boundary observations
+        of the shot (plant and mocked); ``trace`` is its full
+        interpreter trace; ``root_key`` is the mock-cursor fingerprint
+        the shot started from.  Returns False (and permanently stops
+        growth on determinism violations) when the path cannot be
+        cached; the shot itself is still valid.
         """
         if self.growth_stopped_reason is not None:
             return False
@@ -328,7 +414,7 @@ class TimelineTree:
             return False
         try:
             self._check_pairing(samples, trace)
-            self._insert(samples, trace)
+            self._insert(self._root(root_key), samples, trace)
         except ReplayError as error:
             self.growth_stopped_reason = str(error)
             return False
@@ -336,13 +422,13 @@ class TimelineTree:
 
     def _check_pairing(self, samples: list[MeasurementSample],
                        trace: ShotTrace) -> None:
-        """The k-th plant measurement (chronological trigger order)
+        """The k-th observed measurement (chronological trigger order)
         must be the k-th trace result (chronological arrival order) —
         identical integration windows keep the orders equal, and the
         replay splice relies on it."""
         if len(samples) != len(trace.results):
             raise ReplayError(
-                f"{len(samples)} plant measurements vs "
+                f"{len(samples)} observed measurements vs "
                 f"{len(trace.results)} trace results")
         for sample, record in zip(samples, trace.results):
             if (sample.qubit != record.qubit or
@@ -353,9 +439,9 @@ class TimelineTree:
                     f"for qubit {record.qubit} at "
                     f"{record.measure_start_ns} ns")
 
-    def _insert(self, samples: list[MeasurementSample],
+    def _insert(self, root: _TreeNode, samples: list[MeasurementSample],
                 trace: ShotTrace) -> None:
-        node = self._root
+        node = root
         for sample, record in zip(samples, trace.results):
             if node.template is not None:
                 raise ReplayError(
@@ -365,13 +451,18 @@ class TimelineTree:
             if node.qubit < 0:
                 node.qubit = sample.qubit
                 node.start_ns = sample.start_ns
-                node.p_one = sample.p_one
+                node.mocked = sample.mocked
+                if not sample.mocked:
+                    node.p_one = sample.p_one
             elif (node.qubit != sample.qubit or
-                    abs(node.start_ns - sample.start_ns) > 1e-9):
+                    abs(node.start_ns - sample.start_ns) > 1e-9 or
+                    node.mocked != sample.mocked):
                 raise ReplayError(
                     "determinism violation: same outcome history, "
-                    f"different next measurement (qubit {node.qubit} at "
-                    f"{node.start_ns} ns vs qubit {sample.qubit} at "
+                    "different next measurement (qubit "
+                    f"{node.qubit}{' mocked' if node.mocked else ''} at "
+                    f"{node.start_ns} ns vs qubit {sample.qubit}"
+                    f"{' mocked' if sample.mocked else ''} at "
                     f"{sample.start_ns} ns) — timing depends on state "
                     "outside the outcome history")
             key = (record.raw_result, record.reported_result)

@@ -3,10 +3,12 @@
 The timeline-segment tree must be *observationally equivalent* to the
 interpreter on feedback programs: along every outcome path the
 timing-domain records are bit-identical, and the sampled outcome
-distributions are statistically indistinguishable.  Hard blockers
-(``ST``, mock results) must report *all* their reasons and fall back
-transparently; non-saturating outcome spaces must degrade gracefully
-to interpreter shots.
+distributions are statistically indistinguishable.  Mock-result
+programs replay through cursor-keyed tree roots and dead stores are
+whitelisted by the dataflow pass; the remaining hard blockers (live
+``ST`` stores, untranslatable operations) must report *all* their
+reasons and fall back transparently; non-saturating outcome spaces
+must degrade gracefully to interpreter shots.
 """
 
 import numpy as np
@@ -224,13 +226,16 @@ class TestTreeSaturation:
 
 
 class TestHardBlockerReporting:
-    def test_store_to_data_memory_blocks_replay(self):
+    def test_live_store_blocks_replay(self):
+        """A store read back by a LD is live across shots (data memory
+        persists) and forces the interpreter."""
         machine = make_machine()
         load(machine, """
         SMIS S2, {2}
         LDI R0, 7
         LDI R1, 0
         ST R0, R1(0)
+        LD R2, R1(0)
         X90 S2
         MEASZ S2
         STOP
@@ -238,19 +243,23 @@ class TestHardBlockerReporting:
         reasons = machine.replay_unsupported_reasons()
         assert len(reasons) == 1
         assert "ST" in reasons[0] and "data memory" in reasons[0]
+        assert "live" in reasons[0]
         machine.run(3)
         assert machine.last_run_engine == "interpreter"
         assert machine.engine_stats.interpreter_shots == 3
 
     def test_all_blocking_reasons_reported(self):
         """A program with several blockers reports every one of them,
-        not just the first."""
+        not just the first — and injected mocks add none (they replay
+        through cursor-keyed roots now)."""
         machine = make_machine()
         load(machine, """
         SMIS S2, {2}
-        LDI R0, 7
-        LDI R1, 0
+        LDI R0, 8
+        LDI R1, 16
         ST R0, R1(0)
+        LD R4, R1(0)
+        ST R0, R4(0)
         X90 S2
         MEASZ S2
         STOP
@@ -258,11 +267,34 @@ class TestHardBlockerReporting:
         machine.measurement_unit.inject_mock_results(2, [1, 0])
         reasons = machine.replay_unsupported_reasons()
         assert len(reasons) == 2
-        assert any("mock" in reason for reason in reasons)
-        assert any("ST" in reason for reason in reasons)
+        assert any("unknown" in reason for reason in reasons)
+        assert any("live" in reason for reason in reasons)
+        assert not any("mock" in reason for reason in reasons)
         machine.run(1)
-        assert "mock" in machine.replay_fallback_reason
-        assert "ST" in machine.replay_fallback_reason
+        assert "unknown" in machine.replay_fallback_reason
+        assert "live" in machine.replay_fallback_reason
+
+    def test_dead_store_and_mocks_combined_replay(self):
+        """The two former hard blockers together — a host-readout
+        store plus an injected mock queue — now both ride replay."""
+        machine = make_machine(seed=6)
+        load(machine, """
+        SMIS S2, {2}
+        QWAIT 10000
+        X90 S2
+        MEASZ S2
+        QWAIT 50
+        FMR R1, Q2
+        LDI R2, 32
+        ST R1, R2(0)
+        STOP
+        """)
+        machine.measurement_unit.inject_mock_results(2, [1, 0, 1, 0])
+        assert machine.replay_unsupported_reasons() == []
+        traces = machine.run(4)
+        assert machine.last_run_engine == "replay"
+        assert [t.last_result(2) for t in traces] == [1, 0, 1, 0]
+        assert machine.engine_stats.dead_stores == 1
 
 
 class TestForcedResults:
@@ -306,14 +338,46 @@ class TestStatsSurfacing:
         assert stats.shots_total == 200
         assert stats.replay_shots > stats.interpreter_shots
 
-    def test_cfc_verification_reports_interpreter_fallback(self):
+    def test_cfc_verification_rides_replay(self):
+        """Mock-result CFC verification is no longer a fallback: the
+        program measures once per shot, so the upcoming-value window
+        is a single bit and the whole alternating queue maps onto two
+        roots; after one growth shot per mock value the rounds are
+        pure tree walks."""
         from repro.experiments.cfc import run_cfc_verification
         result = run_cfc_verification(rounds=8)
         assert result.alternates
         stats = result.engine_stats
-        assert stats.engine == "interpreter"
-        assert "mock" in stats.fallback_reason
-        assert stats.interpreter_shots == 8
+        assert stats.engine == "replay"
+        assert stats.fallback_reason is None
+        assert stats.shots_total == 8
+        assert stats.tree_roots == 2         # one per mock value
+        assert stats.interpreter_shots == 2  # one growth shot per root
+        assert stats.replay_shots == 6
+        assert stats.mock_results_replayed == 6
+
+    def test_mock_cfc_long_queue_shares_clamped_root(self):
+        """A long alternating mock queue (the throughput scenario):
+        cursor states with >= max_depth results remaining share one
+        clamped root, so most shots are pure tree walks — and the
+        queue still drains in exact order (the X/Y alternation holds
+        across cached and growth shots alike)."""
+        from repro.experiments.cfc import FIG5_PROGRAM
+        machine = make_machine(seed=9)
+        rounds = 200
+        machine.measurement_unit.inject_mock_results(
+            2, [i % 2 for i in range(rounds)])
+        load(machine, FIG5_PROGRAM)
+        applied = []
+        for trace in machine.run_iter(rounds):
+            applied.extend(r.name for r in trace.triggers
+                           if r.qubits == (0,) and r.executed)
+        assert machine.last_run_engine == "replay"
+        assert applied == ["X", "Y"] * (rounds // 2)
+        stats = machine.engine_stats
+        assert stats.replay_shots > stats.interpreter_shots
+        assert stats.mock_results_replayed == stats.replay_shots
+        assert not machine.measurement_unit.has_mock_results(2)
 
     def test_surface_code_reports_replay_stats(self):
         from repro.experiments.surface_code import (

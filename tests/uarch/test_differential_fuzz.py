@@ -1,0 +1,227 @@
+"""Differential interpreter-vs-replay fuzzing.
+
+The replay tier's correctness claim is *observational equivalence*:
+for any program the static analysis admits, the branch-resolved engine
+must emit (a) bit-identical timing-domain records along every outcome
+path and (b) the same joint outcome distribution as the cycle-accurate
+interpreter.  Hand-picked experiments cannot cover the interaction
+space — mock cursors x forced growth prefixes x dead stores x FMR
+stalls x conditional micro-ops — so this harness generates seeded
+random eQASM programs mixing all of it, runs each on both engines and
+cross-checks:
+
+* engine agreement — if one engine raises a timing violation, so must
+  the other; if the static analysis blocks replay, the fallback is
+  transparent (the run still completes on the interpreter);
+* per-path timing-bit identity on every outcome path both engines
+  produced (there must be at least one);
+* chi-squared agreement of the joint final-outcome histograms;
+* identical mock-queue draining (cursor bookkeeping cannot skew).
+
+Tier-1 runs ``DEFAULT_SEED_COUNT`` seeded cases; the nightly CI job
+widens the range via ``EQASM_FUZZ_SEEDS=500``.  Every machine and the
+generator itself are seeded, so a passing seed passes forever.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import Assembler, two_qubit_instantiation
+from repro.core.errors import TimingViolationError
+from repro.quantum import NoiseModel, QuantumPlant
+from repro.uarch import QuMAv2
+
+DEFAULT_SEED_COUNT = 25
+SEED_COUNT = int(os.environ.get("EQASM_FUZZ_SEEDS", DEFAULT_SEED_COUNT))
+SHOTS = 200
+
+GATES = ["X", "Y", "X90", "Y90", "XM90", "YM90"]
+CONDITIONAL_GATES = ["C_X", "C_Y", "C0_X"]
+
+
+def generate_case(seed: int) -> tuple[str, list[int]]:
+    """One random well-formed program + its mock-injection plan.
+
+    Blocks are drawn from: plain gates, fixed and register-valued
+    waits, measurement + fast-conditional micro-op, measurement + FMR
+    + CMP/BR feedback (CFC), dead stores (host-readout deposits) and
+    live ST-then-LD pairs (which must force the interpreter on both
+    sides).  Timing follows the Section 5 listings: a QWAIT 50 after
+    every measurement keeps the schedule valid, small waits separate
+    gate bundles.  Measurements are capped at 3 per shot so the
+    outcome tree saturates within the shot budget.
+    """
+    rng = np.random.default_rng(seed)
+    lines = ["SMIS S0, {0}", "SMIS S2, {2}", "LDI R0, 1", "QWAIT 10000"]
+    kinds = list(rng.choice(
+        ["gate", "qwait", "fce", "cfc", "dead_store", "live_store",
+         "qwaitr"],
+        size=int(rng.integers(4, 9)),
+        p=[0.26, 0.14, 0.20, 0.20, 0.10, 0.04, 0.06]))
+    if not any(kind in ("fce", "cfc") for kind in kinds):
+        kinds[-1] = "cfc"
+    measurements = 0
+    label = 0
+    for kind in kinds:
+        if kind in ("fce", "cfc") and measurements >= 3:
+            kind = "gate"
+        if kind == "gate":
+            target = rng.choice(["S0", "S2"])
+            lines += [f"{rng.choice(GATES)} {target}", "QWAIT 5"]
+        elif kind == "qwait":
+            lines += [f"QWAIT {int(rng.integers(1, 40))}"]
+        elif kind == "qwaitr":
+            lines += [f"LDI R8, {int(rng.integers(1, 30))}", "QWAITR R8"]
+        elif kind == "fce":
+            measurements += 1
+            lines += ["X90 S2", "MEASZ S2", "QWAIT 50",
+                      f"{rng.choice(CONDITIONAL_GATES)} S2", "QWAIT 5"]
+        elif kind == "cfc":
+            measurements += 1
+            lines += ["X90 S2", "MEASZ S2", "QWAIT 50",
+                      "FMR R1, Q2", "CMP R1, R0",
+                      f"BR EQ, eq{label}",
+                      "X S0",
+                      f"BR ALWAYS, join{label}",
+                      f"eq{label}:",
+                      "Y S0",
+                      f"join{label}:",
+                      "QWAIT 5"]
+            label += 1
+        elif kind == "dead_store":
+            address = 4 * int(rng.integers(16, 40))
+            lines += [f"LDI R5, {address}", "ST R1, R5(0)"]
+        else:  # live_store
+            address = 4 * int(rng.integers(40, 64))
+            lines += [f"LDI R6, {address}", "ST R0, R6(0)",
+                      "LD R7, R6(0)"]
+    lines += ["QWAIT 50", "STOP"]
+
+    mock_plan: list[int] = []
+    if measurements and rng.random() < 0.4:
+        if rng.random() < 0.5:
+            length = int(rng.integers(1, 60))   # exhausts mid-run
+        else:
+            length = measurements * SHOTS       # covers the whole run
+        mock_plan = [int(bit) for bit in rng.integers(0, 2, size=length)]
+    return "\n".join(lines), mock_plan
+
+
+def run_engine(text: str, mock_plan: list[int], seed: int,
+               use_replay: bool):
+    """Run one program on one engine; returns (machine, traces|None).
+
+    ``traces`` is None when the run raised a timing violation — the
+    differential property is then that *both* engines raise it.
+    """
+    isa = two_qubit_instantiation()
+    plant = QuantumPlant(isa.topology, noise=NoiseModel(),
+                         rng=np.random.default_rng(seed))
+    machine = QuMAv2(isa, plant)
+    if mock_plan:
+        machine.measurement_unit.inject_mock_results(2, mock_plan)
+    machine.load(Assembler(isa).assemble_text(text))
+    try:
+        traces = machine.run(SHOTS, use_replay=use_replay)
+    except TimingViolationError:
+        return machine, None
+    return machine, traces
+
+
+def assert_timing_identical(trace_a, trace_b):
+    assert trace_a.triggers == trace_b.triggers
+    assert trace_a.slips == trace_b.slips
+    assert trace_a.instructions_executed == trace_b.instructions_executed
+    assert trace_a.classical_time_ns == trace_b.classical_time_ns
+    assert trace_a.stop_reached == trace_b.stop_reached
+    assert [(r.qubit, r.measure_start_ns, r.arrival_ns)
+            for r in trace_a.results] == \
+        [(r.qubit, r.measure_start_ns, r.arrival_ns)
+         for r in trace_b.results]
+
+
+def joint_histogram(traces):
+    """Counts of the per-shot final result vector (the ShotCounts key)."""
+    histogram = {}
+    for trace in traces:
+        last = {}
+        for record in trace.results:
+            last[record.qubit] = record.reported_result
+        key = tuple(sorted(last.items()))
+        histogram[key] = histogram.get(key, 0) + 1
+    return histogram
+
+
+def assert_distributions_agree(interp_hist, replay_hist):
+    """Chi-squared homogeneity test, pooling sparse outcome bins."""
+    keys = sorted(set(interp_hist) | set(replay_hist))
+    if len(keys) < 2:
+        assert set(interp_hist) == set(replay_hist)
+        return
+    table = np.array([[interp_hist.get(k, 0) for k in keys],
+                      [replay_hist.get(k, 0) for k in keys]])
+    totals = table.sum(axis=0)
+    dense = table[:, totals >= 10]
+    pooled = table[:, totals < 10].sum(axis=1, keepdims=True)
+    if pooled.sum() > 0:
+        dense = np.hstack([dense, pooled])
+    if dense.shape[1] < 2:
+        return  # everything pooled into one bin: nothing to compare
+    from scipy.stats import chi2_contingency
+    _, p_value, _, _ = chi2_contingency(dense)
+    assert p_value > 1e-4, \
+        f"engines statistically distinguishable (p={p_value})"
+
+
+@pytest.mark.parametrize("seed", range(SEED_COUNT))
+def test_interpreter_and_replay_are_equivalent(seed):
+    text, mock_plan = generate_case(seed)
+    interpreter, interp_traces = run_engine(text, mock_plan,
+                                            seed=10_000 + seed,
+                                            use_replay=False)
+    replay, replay_traces = run_engine(text, mock_plan,
+                                       seed=20_000 + seed,
+                                       use_replay=True)
+
+    # Engine agreement on timing violations.
+    assert (interp_traces is None) == (replay_traces is None), \
+        "one engine raised a timing violation, the other did not"
+    if interp_traces is None:
+        return
+
+    assert interpreter.last_run_engine == "interpreter"
+    reasons = replay.replay_unsupported_reasons()
+    if reasons:
+        # Static blockers (live stores): transparent fallback, and the
+        # run must still be a faithful interpreter run.
+        assert replay.last_run_engine == "interpreter"
+        assert replay.replay_fallback_reason == "; ".join(reasons)
+    else:
+        assert replay.last_run_engine == "replay"
+        stats = replay.engine_stats
+        assert stats.shots_total == SHOTS
+        assert stats.interpreter_shots + stats.replay_shots == SHOTS
+
+    # Per-path timing-bit identity on every shared outcome path.
+    interp_by_path = {}
+    for trace in interp_traces:
+        interp_by_path.setdefault(trace.outcome_path(), trace)
+    replay_by_path = {}
+    for trace in replay_traces:
+        replay_by_path.setdefault(trace.outcome_path(), trace)
+    common = set(interp_by_path) & set(replay_by_path)
+    assert common, "no outcome path produced by both engines"
+    for path in common:
+        assert_timing_identical(interp_by_path[path],
+                                replay_by_path[path])
+
+    # Joint outcome distributions must be indistinguishable.
+    assert_distributions_agree(joint_histogram(interp_traces),
+                               joint_histogram(replay_traces))
+
+    # Mock queues must drain identically (cursor bookkeeping).
+    if mock_plan:
+        assert (interpreter.measurement_unit.remaining_mock_results(2) ==
+                replay.measurement_unit.remaining_mock_results(2))

@@ -168,9 +168,10 @@ class TestReplayEquivalence:
 
 
 class TestReplayFallback:
-    """Hard blockers must run on the full interpreter; feedback
-    programs (conditional execution, CFC) now take the branch-resolved
-    replay path."""
+    """Hard blockers (live stores, untranslatable operations) must run
+    on the full interpreter; feedback programs (conditional execution,
+    CFC), mocked programs and dead-store programs take the
+    branch-resolved replay path."""
 
     @pytest.mark.parametrize("text", [ACTIVE_RESET, CFC_FMR],
                              ids=["active-reset", "cfc-fmr"])
@@ -186,13 +187,16 @@ class TestReplayFallback:
         assert stats.interpreter_shots + stats.replay_shots == 20
         assert stats.segment_cache_misses == stats.interpreter_shots
 
-    def test_store_instruction_falls_back(self):
+    def test_live_store_falls_back(self):
+        """A store that a later LD reads back is live across shots —
+        the one remaining data-memory hard blocker."""
         machine = make_machine()
         load(machine, """
         SMIS S0, {0}
         LDI R0, 7
         LDI R1, 0
         ST R0, R1(0)
+        LD R2, R1(0)
         X S0
         STOP
         """)
@@ -200,15 +204,40 @@ class TestReplayFallback:
         assert machine.last_run_engine == "interpreter"
         assert "ST" in machine.replay_fallback_reason
 
-    def test_mock_results_fall_back(self):
+    def test_dead_store_replays(self):
+        """A store no LD ever reads (host-readout deposit) is proven
+        dead by the dataflow pass and replays."""
+        machine = make_machine(seed=3)
+        load(machine, """
+        SMIS S2, {2}
+        QWAIT 10000
+        X90 S2
+        MEASZ S2
+        QWAIT 50
+        FMR R1, Q2
+        LDI R2, 16
+        ST R1, R2(0)
+        STOP
+        """)
+        machine.run(20)
+        assert machine.last_run_engine == "replay"
+        assert machine.replay_fallback_reason is None
+        assert machine.engine_stats.dead_stores == 1
+        assert machine.engine_stats.replay_shots > 0
+
+    def test_mock_results_replay_and_drain_in_order(self):
+        """Injected mock results no longer block replay: the draining
+        queue keys the timeline tree's roots, and the reported sequence
+        is exactly the injected one."""
         machine = make_machine(seed=2)
         load(machine, RABI)
         machine.measurement_unit.inject_mock_results(2, [1, 0, 1])
         traces = machine.run(3)
-        assert machine.last_run_engine == "interpreter"
-        assert "mock" in machine.replay_fallback_reason
-        # The mock queue must drain exactly as before.
+        assert machine.last_run_engine == "replay"
+        assert machine.replay_fallback_reason is None
+        # The mock queue must drain exactly as the interpreter would.
         assert [trace.last_result(2) for trace in traces] == [1, 0, 1]
+        assert not machine.measurement_unit.has_mock_results(2)
 
     def test_use_replay_false_forces_interpreter(self):
         machine = make_machine(seed=1)
