@@ -9,7 +9,7 @@ timeline tree (:mod:`repro.uarch.replay`) on exactly those feedback
 programs, and cross-checks per-outcome-path timing bit-identity plus
 measurement statistics between the engines.
 
-Two scenarios cover the formerly fallback-only cases:
+Four scenarios cover the formerly fallback-only cases:
 
 * **mock_cfc** — the Fig. 5 CFC-verification program with a long
   alternating mock-result queue; the draining queue keys the timeline
@@ -20,7 +20,17 @@ Two scenarios cover the formerly fallback-only cases:
   result to data memory (a dead store, whitelisted by the dataflow
   pass) run as a repeated sweep: the same binary is ``run()`` several
   times and later runs reuse the saturated tree from the machine's
-  cross-run replay cache (zero growth shots).
+  cross-run replay cache (zero growth shots);
+* **looped_surface_code** — the seven-qubit multi-round syndrome
+  binary written as a genuine counted ``SUB``/``CMP``/``BR`` loop
+  (not compile-time unrolled): the dataflow pass resolves the trip
+  count, so the looping binary rides replay
+  (``EngineStats.bounded_loops``);
+* **scratch_spill_reload** — the comprehensive-benchmark kernel that
+  spills both CFC round results to data memory, reloads and combines
+  them: every load is killed by a same-shot store
+  (``EngineStats.killed_loads``), so the same-shot ST -> LD traffic
+  no longer forces the interpreter.
 
 Runs two ways:
 
@@ -48,10 +58,17 @@ except ImportError:  # script mode without PYTHONPATH=src
 
 import numpy as np
 
-from repro.core import Assembler, two_qubit_instantiation
-from repro.experiments.cfc import CFC_TWO_ROUND_PROGRAM, FIG5_PROGRAM
+from repro.core import Assembler, seven_qubit_instantiation, \
+    two_qubit_instantiation
+from repro.experiments.cfc import (
+    CFC_SCRATCH_PROGRAM,
+    CFC_TWO_ROUND_PROGRAM,
+    FIG5_PROGRAM,
+)
 from repro.experiments.reset import FIG4_PROGRAM
+from repro.experiments.surface_code import looped_surface_code_program
 from repro.quantum import NoiseModel, QuantumPlant
+from repro.quantum.noise import DecoherenceModel, GateErrorModel
 from repro.uarch import QuMAv2
 
 #: Required end-to-end speedup when recording BENCH_ numbers.
@@ -90,10 +107,26 @@ STOP
 #: whose later runs must hit the cross-run tree cache).
 SWEEP_RUNS = 5
 
+#: Syndrome rounds of the looped surface-code binary.
+SURFACE_CODE_ROUNDS = 4
 
-def _make_machine(text: str, seed: int) -> QuMAv2:
-    isa = two_qubit_instantiation()
-    plant = QuantumPlant(isa.topology, noise=NoiseModel(),
+
+def _readout_only_noise() -> NoiseModel:
+    """Readout flips only: raw syndromes stay deterministic (the
+    outcome tree stays compact at 8 measurements per shot) while the
+    reported bits — and the C_X resets they steer — keep every branch
+    of the feedback machinery genuinely exercised."""
+    return NoiseModel(
+        decoherence=DecoherenceModel(t1_ns=1e15, t2_ns=1e15),
+        gate_error=GateErrorModel(single_qubit_error=0.0,
+                                  two_qubit_error=0.0))
+
+
+def _make_machine(text: str, seed: int, isa=None,
+                  noise: NoiseModel | None = None) -> QuMAv2:
+    isa = isa or two_qubit_instantiation()
+    plant = QuantumPlant(isa.topology,
+                         noise=noise if noise is not None else NoiseModel(),
                          rng=np.random.default_rng(seed))
     machine = QuMAv2(isa, plant)
     machine.load(Assembler(isa).assemble_text(text))
@@ -268,12 +301,147 @@ def measure_sweep_reuse(shots: int = 2000, seed: int = 13) -> dict:
     }
 
 
+def measure_looped_surface_code(shots: int = 2000, seed: int = 13) -> dict:
+    """Multi-round surface-code syndrome extraction as a counted loop.
+
+    The binary executes a genuine backward branch every round; the
+    dataflow pass unrolls the counter so the looping program replays.
+    The cross-check is per-outcome-path timing bit-identity plus
+    per-ancilla syndrome statistics between the engines.
+    """
+    program = looped_surface_code_program(SURFACE_CODE_ROUNDS)
+
+    def make(machine_seed):
+        return _make_machine(program, machine_seed,
+                             isa=seven_qubit_instantiation(),
+                             noise=_readout_only_noise())
+
+    interpreter = make(seed)
+    interp_traces, interp_s = _time_run(interpreter, shots,
+                                        use_replay=False)
+    assert interpreter.last_run_engine == "interpreter"
+
+    replay = make(seed + 1)
+    replay_traces, replay_s = _time_run(replay, shots, use_replay=True)
+    assert replay.last_run_engine == "replay", \
+        f"replay refused: {replay.replay_fallback_reason}"
+    assert replay.replay_fallback_reason is None
+    stats = replay.engine_stats
+    assert stats.bounded_loops == 1, "the loop was not statically bounded"
+
+    for trace in interp_traces + replay_traces:
+        assert len(trace.results) == 2 * SURFACE_CODE_ROUNDS
+
+    interp_by_path = {}
+    for trace in interp_traces:
+        interp_by_path.setdefault(trace.outcome_path(), trace)
+    checked = 0
+    for trace in replay_traces:
+        reference = interp_by_path.get(trace.outcome_path())
+        if reference is None:
+            continue
+        assert reference.triggers == trace.triggers
+        assert reference.slips == trace.slips
+        assert reference.classical_time_ns == trace.classical_time_ns
+        checked += 1
+    assert checked > 0, "no outcome path common to both engines"
+
+    # Per-ancilla, per-round syndrome rates must agree statistically.
+    tolerance = 4.5 * math.sqrt(0.5 / shots)
+    for ancilla in (2, 4):
+        for round_index in range(SURFACE_CODE_ROUNDS):
+            def rate(traces):
+                fired = sum(
+                    [r.reported_result for r in t.results
+                     if r.qubit == ancilla][round_index]
+                    for t in traces)
+                return fired / len(traces)
+            assert abs(rate(interp_traces) - rate(replay_traces)) < \
+                tolerance, f"ancilla {ancilla} round {round_index}"
+
+    return {
+        "shots": shots,
+        "rounds": SURFACE_CODE_ROUNDS,
+        "interpreter_shots_per_sec": round(shots / interp_s, 1),
+        "replay_shots_per_sec": round(shots / replay_s, 1),
+        "speedup": round(interp_s / replay_s, 2),
+        "paths_checked": checked,
+        "engine_stats": stats.as_dict(),
+    }
+
+
+def measure_scratch_spill_reload(shots: int = 2000, seed: int = 13) -> dict:
+    """Spill/reload scratch kernel: same-shot ST -> LD traffic.
+
+    Both CFC round results are spilled to data memory and reloaded;
+    the kill-analysis proves every load shot-local, so the program
+    replays.  Besides the usual path/statistics cross-checks, every
+    replayed shot's conditioned X/Y must match its own first-round
+    measurement — proving the replayed control flow reflects what the
+    reloaded value steered.
+    """
+    interpreter = _make_machine(CFC_SCRATCH_PROGRAM, seed)
+    interp_traces, interp_s = _time_run(interpreter, shots,
+                                        use_replay=False)
+    assert interpreter.last_run_engine == "interpreter"
+
+    replay = _make_machine(CFC_SCRATCH_PROGRAM, seed + 1)
+    replay_traces, replay_s = _time_run(replay, shots, use_replay=True)
+    assert replay.last_run_engine == "replay", \
+        f"replay refused: {replay.replay_fallback_reason}"
+    assert replay.replay_fallback_reason is None
+    stats = replay.engine_stats
+    assert stats.killed_loads == 2, "the reloads were not proven killed"
+
+    for trace in replay_traces:
+        applied = [r.name for r in trace.triggers
+                   if r.qubits == (0,) and r.executed]
+        expected = "Y" if trace.results[0].reported_result == 1 else "X"
+        assert applied == [expected], \
+            "replayed feedback diverged from the reloaded value"
+
+    interp_by_path = {}
+    for trace in interp_traces:
+        interp_by_path.setdefault(trace.outcome_path(), trace)
+    checked = 0
+    for trace in replay_traces:
+        reference = interp_by_path.get(trace.outcome_path())
+        if reference is None:
+            continue
+        assert reference.triggers == trace.triggers
+        assert reference.classical_time_ns == trace.classical_time_ns
+        checked += 1
+    assert checked > 0, "no outcome path common to both engines"
+
+    tolerance = 4.5 * math.sqrt(0.5 / shots)
+    for qubit in (0, 2):
+        interp_p = sum(t.last_result(qubit) or 0
+                       for t in interp_traces) / shots
+        replay_p = sum(t.last_result(qubit) or 0
+                       for t in replay_traces) / shots
+        assert abs(interp_p - replay_p) < tolerance, \
+            f"qubit {qubit}: {interp_p} vs {replay_p}"
+
+    return {
+        "shots": shots,
+        "interpreter_shots_per_sec": round(shots / interp_s, 1),
+        "replay_shots_per_sec": round(shots / replay_s, 1),
+        "speedup": round(interp_s / replay_s, 2),
+        "paths_checked": checked,
+        "engine_stats": stats.as_dict(),
+    }
+
+
 def run_benchmark(shots: int = 2000) -> dict:
     """Measure every scenario; returns the JSON-ready result tree."""
     programs = {name: measure_program(name, shots=shots)
                 for name in PROGRAMS}
     programs["mock_cfc"] = measure_mock_cfc(shots=shots)
     programs["dead_store_sweep"] = measure_sweep_reuse(shots=shots)
+    programs["looped_surface_code"] = \
+        measure_looped_surface_code(shots=shots)
+    programs["scratch_spill_reload"] = \
+        measure_scratch_spill_reload(shots=shots)
     return {
         "benchmark": "bench_feedback_throughput",
         "description": "interpreter vs branch-resolved replay tree, "
@@ -313,6 +481,18 @@ def test_dead_store_sweep_reuse_speedup():
     print(f"\ndead_store_sweep: {result}")
     assert result["speedup"] >= SPEEDUP_TARGET
     assert result["growth_shots_after_first_run"] == 0
+
+
+def test_looped_surface_code_speedup():
+    result = measure_looped_surface_code(shots=2000)
+    print(f"\nlooped_surface_code: {result}")
+    assert result["speedup"] >= SPEEDUP_TARGET
+
+
+def test_scratch_spill_reload_speedup():
+    result = measure_scratch_spill_reload(shots=2000)
+    print(f"\nscratch_spill_reload: {result}")
+    assert result["speedup"] >= SPEEDUP_TARGET
 
 
 # ----------------------------------------------------------------------

@@ -15,6 +15,8 @@ from repro.experiments.runner import ExperimentSetup
 from repro.core import seven_qubit_instantiation
 from repro.experiments.surface_code import (
     format_surface_code_report,
+    looped_surface_code_program,
+    run_looped_surface_code_experiment,
     run_surface_code_experiment,
 )
 from repro.workloads.surface_code import surface_code_circuit
@@ -30,8 +32,24 @@ def show_compiled_round() -> None:
     print(assembled.program.to_assembly())
 
 
+def show_looped_binary() -> None:
+    """The instruction-memory-friendly form: one round in a counted
+    SUB/CMP/BR loop instead of compile-time unrolling — the dataflow
+    pass resolves the trip count, so it still rides shot replay."""
+    print("\nthe same rounds as a counted-loop binary:")
+    print(looped_surface_code_program(rounds=4))
+    result = run_looped_surface_code_experiment(rounds=4, shots=40)
+    stats = result.engine_stats
+    print(f"looped run: engine={stats.engine}, "
+          f"bounded loops={stats.bounded_loops}, "
+          f"{stats.replay_shots}/{stats.shots_total} shots replayed, "
+          f"clean-round detection fraction="
+          f"{result.detection_fraction(0):.2f}")
+
+
 def main() -> None:
     show_compiled_round()
+    show_looped_binary()
     error = ("X", 5)
     clean = run_surface_code_experiment(rounds=3, shots=40)
     faulty = run_surface_code_experiment(rounds=3, error=error,

@@ -82,6 +82,47 @@ STOP
 """
 
 
+#: The scratch-memory CFC kernel: both round results are spilled to
+#: data memory, reloaded, combined and deposited for the host — the
+#: comprehensive-benchmark shape that mixes feedback with same-shot
+#: ST -> LD traffic.  Every load is dominated by a same-shot store to
+#: its address, so the kill-analysis in :mod:`repro.uarch.dataflow`
+#: proves the traffic shot-local and the program rides the replay
+#: engine (``EngineStats.killed_loads``); the reloaded first-round
+#: result steers the final conditioned X/Y exactly like the pure-GPR
+#: CFC programs.
+CFC_SCRATCH_PROGRAM = """
+SMIS S0, {0}
+SMIS S2, {2}
+LDI R0, 1
+LDI R2, 64
+QWAIT 10000
+X90 S2
+MEASZ S2
+QWAIT 50
+FMR R1, Q2
+ST R1, R2(0)
+X90 S2
+MEASZ S2
+QWAIT 50
+FMR R3, Q2
+ST R3, R2(4)
+LD R4, R2(0)
+LD R5, R2(4)
+ADD R6, R4, R5
+ST R6, R2(8)
+CMP R4, R0
+BR EQ, eq
+X S0
+BR ALWAYS, join
+eq:
+Y S0
+join:
+QWAIT 50
+STOP
+"""
+
+
 @dataclass
 class CFCVerificationResult:
     """Outcome of the mock-result alternation test."""

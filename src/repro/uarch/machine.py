@@ -179,9 +179,8 @@ class QuMAv2:
         #: invalidates a reused tree when either is swapped out.
         self._tree_cache: OrderedDict[tuple, TimelineTree] = OrderedDict()
         self._binary_key: tuple[int, ...] = ()
-        # Per-binary static analyses, memoised until the next load().
+        # Per-binary static analysis, memoised until the next load().
         self._data_memory_report: DataMemoryReport | None = None
-        self._mock_clamp_by_depth: dict[int, int] = {}
         self._reset_shot_state()
 
     # ------------------------------------------------------------------
@@ -202,7 +201,6 @@ class QuMAv2:
         self._instructions = [decoder.decode(word) for word in words]
         self._binary_key = tuple(words)
         self._data_memory_report = None
-        self._mock_clamp_by_depth = {}
 
     # ------------------------------------------------------------------
     # Shot state
@@ -274,14 +272,18 @@ class QuMAv2:
         Replayable programs — including feedback programs using ``FMR``
         (CFC) and conditional micro-operations (fast conditional
         execution / active reset), programs with injected mock results
-        (replayed through cursor-keyed tree roots) and programs whose
-        data-memory stores the dataflow pass proves dead — take the
-        branch-resolved replay fast path (see :mod:`repro.uarch.replay`):
-        interpreter shots grow an outcome-keyed timeline-segment tree,
-        and every shot whose sampled outcome path is already cached is
-        served as a pure tree walk.  Hard blockers (live ``ST`` stores,
-        untranslatable operations) fall back to the interpreter
-        transparently; ``use_replay=False`` forces the interpreter.
+        (replayed through cursor-keyed tree roots), counted-loop
+        binaries (the dataflow pass unrolls resolvable backward
+        branches) and programs whose data-memory traffic the pass
+        proves shot-local (dead stores; spill/reload loads killed by a
+        same-shot store) — take the branch-resolved replay fast path
+        (see :mod:`repro.uarch.replay`): interpreter shots grow an
+        outcome-keyed timeline-segment tree, and every shot whose
+        sampled outcome path is already cached is served as a pure
+        tree walk.  Hard blockers (loads that can observe another
+        shot's memory, untranslatable operations) fall back to the
+        interpreter transparently; ``use_replay=False`` forces the
+        interpreter.
         """
         return list(self.run_iter(shots, max_instructions,
                                   use_replay=use_replay))
@@ -327,8 +329,10 @@ class QuMAv2:
         stats.engine = "replay"
         report = self.data_memory_report()  # memoised: reasons used it
         stats.dead_stores = report.dead_store_count
+        stats.killed_loads = report.killed_load_count
+        stats.bounded_loops = report.bounded_loop_count
         tree, stats.tree_reused = self._replay_tree(
-            cacheable=report.load_count == 0)
+            cacheable=report.cross_run_cacheable)
         stats.tree_nodes = tree.node_count
         stats.tree_paths = tree.path_count
         stats.tree_roots = tree.root_count
@@ -354,63 +358,84 @@ class QuMAv2:
             stats.tree_paths = tree.path_count
             stats.tree_roots = tree.root_count
             stats.growth_stopped_reason = tree.growth_stopped_reason
+        if stats.replay_shots == 0 and stats.interpreter_shots > 0:
+            # The replay engine was selected but every shot ended up a
+            # growth (interpreter) shot — e.g. the outcome paths exceed
+            # the tree caps from shot one.  Reporting "replay" for a
+            # 100%-interpreter run would be a lie; keep the engine
+            # label consistent with the EngineStats split.
+            reason = ("replay selected but every shot ran as an "
+                      "interpreter growth shot")
+            if tree.growth_stopped_reason is not None:
+                reason += f" ({tree.growth_stopped_reason})"
+            stats.engine = "interpreter"
+            stats.fallback_reason = reason
+            self.last_run_engine = "interpreter"
+            self.replay_fallback_reason = reason
 
     def data_memory_report(self) -> DataMemoryReport:
         """The dataflow pass's verdict on the loaded binary's ``LD``/
         ``ST`` traffic (memoised until the next :meth:`load`) — see
-        :func:`repro.uarch.dataflow.analyze_data_memory`."""
+        :func:`repro.uarch.dataflow.analyze_data_memory`.  The machine
+        supplies the per-instruction measurement-slot table, so the
+        report's ``max_measurements_per_shot`` is exact for loop-free
+        *and* counted-loop binaries."""
         if self._data_memory_report is None:
-            self._data_memory_report = \
-                analyze_data_memory(self._instructions)
+            slots = [self._measurement_slot_count(instruction)
+                     for instruction in self._instructions]
+            self._data_memory_report = analyze_data_memory(
+                self._instructions, measurement_slots=slots)
         return self._data_memory_report
+
+    def _measurement_slot_count(self, instruction: Instruction) -> int:
+        """Measurement micro-operations one execution of the
+        instruction triggers (untranslatable slots count zero — such
+        programs are blocked from replay elsewhere)."""
+        if not isinstance(instruction, Bundle):
+            return 0
+        total = 0
+        for slot in instruction.operations:
+            try:
+                micro_ops = self.microcode.translate_name(slot.name)
+            except Exception:
+                continue
+            total += sum(op.is_measurement for op in micro_ops)
+        return total
 
     def _mock_fingerprint_clamp(self, max_depth: int) -> int:
         """Per-qubit clamp for mock-cursor fingerprints (see
-        :meth:`MeasurementUnit.mock_fingerprint`), memoised per binary.
+        :meth:`MeasurementUnit.mock_fingerprint`).
 
         Cursor states whose remaining queue exceeds what one shot can
         consume are behaviourally identical, so the tighter the bound
         on per-shot mock consumption, the more cursor states share a
-        tree root.  For a loop-free binary (no backward branch) every
-        instruction executes at most once per shot, so no qubit can be
-        measured more often than the program has measurement slots —
-        usually 1-3, collapsing a draining queue of thousands of
-        results onto a handful of roots.  A potentially looping binary
-        falls back to the tree depth cap (paths longer than that are
-        uncacheable anyway).
+        tree root.  The dataflow pass bounds per-shot measurements
+        exactly for loop-free binaries (the static slot count) *and*
+        counted loops (trip count x slots per iteration, the loop
+        unrolled by the exploration engine) — usually a handful,
+        collapsing a draining queue of thousands of results onto a few
+        roots.  Only a genuinely unbounded loop falls back to the tree
+        depth cap (paths longer than that are uncacheable anyway).
         """
-        cached = self._mock_clamp_by_depth.get(max_depth)
-        if cached is not None:
-            return cached
-        slots = 0
-        for index, instruction in enumerate(self._instructions):
-            if isinstance(instruction, Br):
-                target = instruction.target
-                if not isinstance(target, int) or index + target <= index:
-                    slots = None  # backward branch: may loop
-                    break
-            elif isinstance(instruction, Bundle):
-                for slot in instruction.operations:
-                    try:
-                        micro_ops = self.microcode.translate_name(slot.name)
-                    except Exception:
-                        continue
-                    slots += sum(op.is_measurement for op in micro_ops)
-        clamp = max_depth if slots is None else min(max_depth, slots)
-        self._mock_clamp_by_depth[max_depth] = clamp
-        return clamp
+        bound = self.data_memory_report().max_measurements_per_shot
+        if bound is None:
+            return max_depth
+        return min(max_depth, bound)
 
     def _replay_tree(self, cacheable: bool) -> tuple[TimelineTree, bool]:
         """The timeline tree for the loaded binary: reused from the
         keyed cross-run cache when the (binary, noise, config) key
         matches an earlier ``run``, freshly grown otherwise.
 
-        ``cacheable`` must be False for binaries with reachable ``LD``
-        instructions: data memory is the host communication channel and
-        persists across runs, so the host may rewrite a loaded address
-        between ``run()`` calls — state the cache key cannot see.  Such
-        programs still replay (every shot of one run reads the same
-        values), but their tree lives only for the duration of the run.
+        ``cacheable`` must be False for binaries with a reachable
+        ``LD`` that is *not* killed by a same-shot store: data memory
+        is the host communication channel and persists across runs, so
+        the host may rewrite a loaded address between ``run()`` calls —
+        state the cache key cannot see.  Such programs still replay
+        (every shot of one run reads the same values), but their tree
+        lives only for the duration of the run.  Killed loads only
+        ever observe same-shot data, so spill/reload binaries stay
+        cacheable (:attr:`DataMemoryReport.cross_run_cacheable`).
         """
         if not cacheable:
             return TimelineTree(self.plant), False

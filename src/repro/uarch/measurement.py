@@ -66,10 +66,15 @@ class MockCursorView:
 
     __slots__ = ("_unit", "_offsets", "fingerprint")
 
-    def __init__(self, unit: "MeasurementUnit", clamp: int):
+    def __init__(self, unit: "MeasurementUnit", clamp: int,
+                 fingerprint: tuple | None = None):
         self._unit = unit
         self._offsets: dict[int, int] = {}
-        self.fingerprint = unit.mock_fingerprint(clamp)
+        # The replay engine passes the epoch-cached fingerprint when
+        # the queues have not changed since the last shot, skipping
+        # the per-shot dict walk and window slicing.
+        self.fingerprint = fingerprint if fingerprint is not None \
+            else unit.mock_fingerprint(clamp)
 
     def peek(self, qubit: int) -> int | None:
         """Next unconsumed-by-this-walk mock value, or None."""
@@ -116,6 +121,13 @@ class MeasurementUnit:
         self.measurement_duration_cycles = measurement_duration_cycles
         self._mock_results: dict[int, list[int]] = {}
         self._mock_cursor: dict[int, int] = {}
+        #: Bumped on every mock-queue mutation (injection, clearing,
+        #: cursor movement).  :meth:`mock_view` keys its fingerprint
+        #: cache on it, so the per-shot replay loop only rebuilds the
+        #: fingerprint when the queues actually changed — and pays a
+        #: single integer comparison when no mocks are active at all.
+        self._mock_epoch = 0
+        self._view_cache: tuple[int, int, tuple | None] | None = None
         self._forced_results: deque[tuple[int, int]] = deque()
         #: Optional hook called as ``observer(qubit, start_ns, value)``
         #: whenever a mock result is consumed — the replay engine's
@@ -145,6 +157,7 @@ class MeasurementUnit:
             del queue[:cursor]
         self._mock_cursor[qubit] = 0
         queue.extend(results)
+        self._mock_epoch += 1
 
     def has_mock_results(self, qubit: int) -> bool:
         """Whether fabricated results remain queued for a qubit."""
@@ -161,6 +174,7 @@ class MeasurementUnit:
         """Drop all fabricated results (start of a fresh experiment)."""
         self._mock_results.clear()
         self._mock_cursor.clear()
+        self._mock_epoch += 1
 
     # ------------------------------------------------------------------
     # Mock cursors (branch-resolved replay of mocked programs)
@@ -185,7 +199,10 @@ class MeasurementUnit:
             raise ConfigurationError(
                 f"cannot advance mock cursor of qubit {qubit} by {count}: "
                 f"only {remaining} results remain")
-        self._mock_cursor[qubit] = self._mock_cursor.get(qubit, 0) + count
+        if count:
+            self._mock_cursor[qubit] = \
+                self._mock_cursor.get(qubit, 0) + count
+            self._mock_epoch += 1
 
     def mock_fingerprint(self, clamp: int) -> tuple:
         """Key of the replay-tree root the current cursor state selects.
@@ -219,11 +236,29 @@ class MeasurementUnit:
     def mock_view(self, clamp: int) -> MockCursorView | _EmptyMockView:
         """Per-shot cursor view for a replay walk (see
         :class:`MockCursorView`); a shared empty view when no mock
-        results are active."""
+        results are active.
+
+        The fingerprint (and the are-any-mocks-active walk) is cached
+        against the mock-queue *epoch*: the replay shot loop calls this
+        once per shot, but the queues only change when a cached walk
+        commits consumption or the caller injects/clears — every other
+        shot reuses the cached fingerprint, and mock-free runs reduce
+        to one integer comparison per shot.
+        """
+        cache = self._view_cache
+        if cache is not None and cache[0] == self._mock_epoch and \
+                cache[1] == clamp:
+            fingerprint = cache[2]
+            if fingerprint is None:
+                return _EMPTY_MOCK_VIEW
+            return MockCursorView(self, clamp, fingerprint=fingerprint)
         if not any(self.remaining_mock_results(qubit)
                    for qubit in self._mock_results):
+            self._view_cache = (self._mock_epoch, clamp, None)
             return _EMPTY_MOCK_VIEW
-        return MockCursorView(self, clamp)
+        view = MockCursorView(self, clamp)
+        self._view_cache = (self._mock_epoch, clamp, view.fingerprint)
+        return view
 
     # ------------------------------------------------------------------
     # Forced outcomes (branch-resolved replay growth shots)
@@ -273,6 +308,7 @@ class MeasurementUnit:
             cursor = self._mock_cursor.get(qubit, 0)
             raw = self._mock_results[qubit][cursor]
             self._mock_cursor[qubit] = cursor + 1
+            self._mock_epoch += 1
             reported = raw  # mock results bypass the analog chain
             if self._forced_results:
                 # Keep the order-based forced queue aligned; the mock

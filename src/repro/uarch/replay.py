@@ -57,15 +57,20 @@ complete cached walk so the queues drain exactly as the interpreter
 would drain them), and the readout-error model is bypassed just as the
 real mock path bypasses the analog chain.
 
-**Dead stores** don't block replay either: the static pass in
-:mod:`repro.uarch.dataflow` proves when no ``LD`` can observe any
-``ST`` (this shot or, because data memory persists, any later shot) —
-such programs replay, with the documented relaxation that after a
-replay run the data memory holds the last *growth* shot's stores.
+**Data-memory traffic** rarely blocks replay any more: the static pass
+in :mod:`repro.uarch.dataflow` proves when every ``LD`` either aliases
+no ``ST`` at all or is *killed* by a dominating same-shot store (the
+spill/reload pattern — the load can only observe data this shot wrote,
+which is a deterministic function of the outcome history the tree keys
+on).  Counted loops are unrolled by the same pass, so loop-carried
+addresses stay static and looping binaries replay too.  Such programs
+replay with the documented relaxation that after a replay run the data
+memory holds the last *growth* shot's stores.
 
-The remaining hard blockers — a live (or unprovably dead) store, and
-operations the analysis cannot model — force the interpreter for the
-entire run; see :func:`replay_unsupported_reasons`.
+The remaining hard blockers — a load that can genuinely observe
+another shot's (or the host's) store, and operations the analysis
+cannot model — force the interpreter for the entire run; see
+:func:`replay_unsupported_reasons`.
 """
 
 from __future__ import annotations
@@ -166,6 +171,12 @@ class EngineStats:
     mock_results_replayed: int = 0
     #: ST instructions the dataflow pass proved dead across shots.
     dead_stores: int = 0
+    #: LD instructions proven killed by a dominating same-shot store
+    #: (they can never observe another shot's or the host's memory).
+    killed_loads: int = 0
+    #: Backward branches the dataflow pass resolved as counted loops
+    #: (trip count statically unrolled).
+    bounded_loops: int = 0
     #: Set when the tree refused to grow further (depth/node caps, or a
     #: determinism violation) — remaining unseen paths keep running on
     #: the interpreter.
@@ -216,8 +227,10 @@ def replay_unsupported_reasons(
     Returns an empty list when the program is replayable.  Unlike the
     per-shot outcome tree (which handles feedback dynamically), these
     are *hard* blockers — anything that lets one shot observe another
-    shot's state the tree cannot key on: data-memory stores the
-    dataflow pass cannot prove dead (:mod:`repro.uarch.dataflow`), and
+    shot's state the tree cannot key on: data-memory loads the
+    dataflow pass cannot prove shot-local
+    (:mod:`repro.uarch.dataflow` — un-killed loads aliasing a store,
+    unknown addresses, loops it cannot unroll), and
     operations the analysis cannot model.  Injected mock results are
     *not* blockers any more — their queues are replayed through
     cursor-keyed tree roots; the ``measurement_unit`` parameter is kept

@@ -1,0 +1,29 @@
+"""uarch test-session hooks.
+
+Prints the differential-fuzz engine-selection mix in the terminal
+summary (it survives ``-q`` output capture), so the nightly 500-seed
+CI job's log shows at a glance whether programs that should replay
+quietly regressed onto the interpreter.
+"""
+
+import sys
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    # Look the fuzz module up however pytest imported it (rootdir
+    # top-level name or namespace-package path) — importing it here
+    # would create a second instance with an empty counter.
+    mix = None
+    for name, module in list(sys.modules.items()):
+        if name.rpartition(".")[2] == "test_differential_fuzz":
+            candidate = getattr(module, "ENGINE_MIX", None)
+            if candidate:
+                mix = candidate
+                break
+    if not mix:
+        return
+    total = sum(mix.values())
+    parts = ", ".join(f"{name}: {count}"
+                      for name, count in sorted(mix.items()))
+    terminalreporter.write_line(
+        f"differential-fuzz engine mix over {total} cases — {parts}")

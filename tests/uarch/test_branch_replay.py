@@ -204,6 +204,37 @@ class TestTreeSaturation:
         assert sampled is None and prefix == []
         assert not tree.grow(samples, trace)
 
+    def test_all_growth_run_reports_interpreter_split(self):
+        """A run the tree can never cache (every outcome path exceeds
+        the depth cap, so each shot is a growth shot) must not be
+        labeled "replay": the final engine label has to agree with the
+        EngineStats split, and the reason says why."""
+        machine = make_machine(seed=8)
+        load(machine, """
+        SMIS S2, {2}
+        LDI R0, 70
+        LDI R1, 1
+        QWAIT 10000
+        loop:
+        MEASZ S2
+        QWAIT 50
+        SUB R0, R0, R1
+        CMP R0, R1
+        BR GE, loop
+        QWAIT 50
+        STOP
+        """)
+        assert machine.replay_unsupported_reasons() == []
+        machine.run(3)
+        stats = machine.engine_stats
+        assert stats.interpreter_shots == 3
+        assert stats.replay_shots == 0
+        assert stats.engine == "interpreter"
+        assert machine.last_run_engine == "interpreter"
+        assert stats.fallback_reason == machine.replay_fallback_reason
+        assert "growth" in machine.replay_fallback_reason
+        assert "cap" in (stats.growth_stopped_reason or "")
+
     def test_determinism_violation_poisons_growth(self):
         plant = QuantumPlant(two_qubit_instantiation().topology,
                              noise=NoiseModel(),
@@ -226,16 +257,17 @@ class TestTreeSaturation:
 
 
 class TestHardBlockerReporting:
-    def test_live_store_blocks_replay(self):
-        """A store read back by a LD is live across shots (data memory
-        persists) and forces the interpreter."""
+    def test_live_load_blocks_replay(self):
+        """A load above the only store to its address observes the
+        previous shot's value (data memory persists) and forces the
+        interpreter — the same pair in kill order would replay."""
         machine = make_machine()
         load(machine, """
         SMIS S2, {2}
         LDI R0, 7
         LDI R1, 0
-        ST R0, R1(0)
         LD R2, R1(0)
+        ST R0, R1(0)
         X90 S2
         MEASZ S2
         STOP
@@ -257,9 +289,9 @@ class TestHardBlockerReporting:
         SMIS S2, {2}
         LDI R0, 8
         LDI R1, 16
-        ST R0, R1(0)
         LD R4, R1(0)
-        ST R0, R4(0)
+        ST R0, R1(0)
+        LD R5, R4(0)
         X90 S2
         MEASZ S2
         STOP

@@ -1,10 +1,13 @@
-"""Unit tests for the dead-store dataflow pass (uarch/dataflow.py).
+"""Unit tests for the data-memory dataflow pass (uarch/dataflow.py).
 
-The pass must prove a store dead exactly when no load can alias it —
-this shot or any later one (data memory persists across shots) — and
-must stay conservative whenever an address is not statically known.
-Its verdict drives the replay whitelist: dead-store programs ride the
-fast path, ST-then-LD programs fall back with the new reason strings.
+The pass must prove a load shot-local exactly when a same-shot store
+to the same address dominates it (the *kill*), prove a store dead
+exactly when no un-killed load can alias it, and stay conservative
+whenever an address is not statically known.  Its verdict drives the
+replay whitelist: dead-store and spill/reload programs ride the fast
+path, loads that can observe an earlier shot's store fall back with
+per-pc reason strings.  (Kill-analysis and counted-loop edge cases
+live in test_kill_analysis.py.)
 """
 
 import numpy as np
@@ -54,7 +57,10 @@ class TestStoreLiveness:
         assert report.store_count == 2
         assert report.dead_store_count == 2
 
-    def test_store_then_load_same_address_is_live(self):
+    def test_store_then_load_same_address_is_killed(self):
+        """The dominating same-shot store kills the load: it can only
+        ever observe this shot's value, so the pair is replay-safe
+        scratch traffic."""
         report = analyze("""
         LDI R0, 7
         LDI R1, 16
@@ -62,9 +68,9 @@ class TestStoreLiveness:
         LD R2, R1(0)
         STOP
         """)
-        assert not report.replay_safe
-        assert report.dead_store_count == 0
-        assert any("live" in reason for reason in report.live_reasons)
+        assert report.replay_safe
+        assert report.killed_load_count == 1
+        assert report.dead_store_count == 1
 
     def test_load_above_store_same_address_is_still_live(self):
         """Data memory persists across shots: a load textually above
@@ -137,9 +143,62 @@ class TestStoreLiveness:
         assert report.replay_safe
         assert report.dead_store_count == 1
 
-    def test_branch_join_with_disagreeing_constants_is_conservative(self):
-        """R2 is 8 on one path and 16 on the other: the join loses the
-        constant, and with a load present the store must count live."""
+    def test_divergent_store_address_aliasing_a_load_is_live(self):
+        """An FMR-steered branch gives the store two possible
+        addresses; a load matching either of them may observe the
+        previous shot's store, so the program must count live."""
+        report = analyze("""
+        SMIS S2, {2}
+        X90 S2
+        MEASZ S2
+        QWAIT 50
+        FMR R4, Q2
+        LDI R0, 1
+        CMP R4, R0
+        BR EQ, other
+        LDI R2, 8
+        BR ALWAYS, join
+        other:
+        LDI R2, 16
+        join:
+        ST R0, R2(0)
+        LDI R1, 8
+        LD R3, R1(0)
+        STOP
+        """)
+        assert not report.replay_safe
+        assert any("live" in reason for reason in report.live_reasons)
+
+    def test_divergent_store_addresses_disjoint_from_loads_stay_safe(self):
+        """Path sensitivity keeps both divergent store addresses
+        precise (the old join would have lost them): a load disjoint
+        from both stays replay-safe."""
+        report = analyze("""
+        SMIS S2, {2}
+        X90 S2
+        MEASZ S2
+        QWAIT 50
+        FMR R4, Q2
+        LDI R0, 1
+        CMP R4, R0
+        BR EQ, other
+        LDI R2, 8
+        BR ALWAYS, join
+        other:
+        LDI R2, 16
+        join:
+        ST R0, R2(0)
+        LDI R1, 64
+        LD R3, R1(0)
+        STOP
+        """)
+        assert report.replay_safe
+        assert report.dead_store_count == 1
+
+    def test_statically_resolved_branch_follows_one_arm_only(self):
+        """A branch whose CMP operands are constants is resolved by
+        the exploration engine: the untaken arm's divergent address
+        never materialises, so the store address stays exact."""
         report = analyze("""
         LDI R0, 1
         LDI R1, 0
@@ -154,7 +213,10 @@ class TestStoreLiveness:
         LD R3, R1(4)
         STOP
         """)
-        assert not report.replay_safe
+        # CMP 0, 1 -> EQ is statically false: R2 is 8 on the only
+        # reachable path, disjoint from the load at 4.
+        assert report.replay_safe
+        assert report.dead_store_count == 1
 
     def test_branch_join_with_agreeing_constants_stays_known(self):
         report = analyze("""
@@ -187,10 +249,10 @@ class TestStoreLiveness:
         assert report.store_count == 0
         assert report.load_count == 0
 
-    def test_loop_reaches_a_fixpoint(self):
-        """A counted loop storing each iteration: the loop-carried ADD
-        drives the address to unknown at the join, but with no loads
-        the stores stay dead — and the analysis terminates."""
+    def test_counted_loop_unrolls_and_terminates(self):
+        """A counted loop storing each iteration: the exploration
+        engine unrolls it (the loop-carried ADD stays a constant per
+        iteration), and with no loads the stores stay dead."""
         report = analyze("""
         LDI R0, 4
         LDI R1, 1
@@ -232,13 +294,15 @@ class TestMachineIntegration:
         # still one of the measurement results this program stores.
         assert machine.memory.load(16) in (0, 1)
 
-    def test_live_store_program_reports_reason_and_falls_back(self):
+    def test_live_load_program_reports_reason_and_falls_back(self):
+        """A load *above* the store to its address observes the
+        previous shot's value — the remaining hard blocker."""
         machine = make_machine()
         machine.load(Assembler(machine.isa).assemble_text("""
         LDI R0, 7
         LDI R1, 16
-        ST R0, R1(0)
         LD R2, R1(0)
+        ST R0, R1(0)
         STOP
         """))
         reasons = machine.replay_unsupported_reasons()

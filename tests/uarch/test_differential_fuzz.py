@@ -21,9 +21,16 @@ cross-checks:
 Tier-1 runs ``DEFAULT_SEED_COUNT`` seeded cases; the nightly CI job
 widens the range via ``EQASM_FUZZ_SEEDS=500``.  Every machine and the
 generator itself are seeded, so a passing seed passes forever.
+
+Every case also records which engine actually drove the replay-side
+run into ``ENGINE_MIX``; the uarch conftest prints the aggregate in
+the terminal summary, so a silent fallback regression (programs that
+should replay quietly running on the interpreter) is visible straight
+in the nightly CI log.
 """
 
 import os
+from collections import Counter
 
 import numpy as np
 import pytest
@@ -40,26 +47,34 @@ SHOTS = 200
 GATES = ["X", "Y", "X90", "Y90", "XM90", "YM90"]
 CONDITIONAL_GATES = ["C_X", "C_Y", "C0_X"]
 
+#: Engine-selection aggregate over all fuzz cases of the session,
+#: printed by the conftest terminal summary (nightly log visibility).
+ENGINE_MIX: Counter = Counter()
+
 
 def generate_case(seed: int) -> tuple[str, list[int]]:
     """One random well-formed program + its mock-injection plan.
 
     Blocks are drawn from: plain gates, fixed and register-valued
     waits, measurement + fast-conditional micro-op, measurement + FMR
-    + CMP/BR feedback (CFC), dead stores (host-readout deposits) and
-    live ST-then-LD pairs (which must force the interpreter on both
-    sides).  Timing follows the Section 5 listings: a QWAIT 50 after
-    every measurement keeps the schedule valid, small waits separate
-    gate bundles.  Measurements are capped at 3 per shot so the
-    outcome tree saturates within the shot budget.
+    + CMP/BR feedback (CFC), dead stores (host-readout deposits),
+    spill/reload pairs (same-shot ST-then-LD, killed by the dataflow
+    pass and replay-eligible, with the reloaded value steering a
+    branch), live loads (LD above the only ST to its address — which
+    must force the interpreter on both sides) and counted gate loops
+    (backward branches the analysis unrolls).  Timing follows the
+    Section 5 listings: a QWAIT 50 after every measurement keeps the
+    schedule valid, small waits separate gate bundles.  Measurements
+    are capped at 3 per shot so the outcome tree saturates within the
+    shot budget.
     """
     rng = np.random.default_rng(seed)
     lines = ["SMIS S0, {0}", "SMIS S2, {2}", "LDI R0, 1", "QWAIT 10000"]
     kinds = list(rng.choice(
-        ["gate", "qwait", "fce", "cfc", "dead_store", "live_store",
-         "qwaitr"],
+        ["gate", "qwait", "fce", "cfc", "dead_store", "spill_reload",
+         "live_load", "qwaitr", "counted_loop"],
         size=int(rng.integers(4, 9)),
-        p=[0.26, 0.14, 0.20, 0.20, 0.10, 0.04, 0.06]))
+        p=[0.20, 0.12, 0.18, 0.18, 0.08, 0.08, 0.03, 0.05, 0.08]))
     if not any(kind in ("fce", "cfc") for kind in kinds):
         kinds[-1] = "cfc"
     measurements = 0
@@ -93,10 +108,33 @@ def generate_case(seed: int) -> tuple[str, list[int]]:
         elif kind == "dead_store":
             address = 4 * int(rng.integers(16, 40))
             lines += [f"LDI R5, {address}", "ST R1, R5(0)"]
-        else:  # live_store
+        elif kind == "spill_reload":
+            # Same-shot ST -> LD at one address: killed, replays; the
+            # reloaded value steers a branch so a wrong reload would
+            # show up in the timing cross-check, not just the data.
             address = 4 * int(rng.integers(40, 64))
-            lines += [f"LDI R6, {address}", "ST R0, R6(0)",
-                      "LD R7, R6(0)"]
+            lines += [f"LDI R6, {address}", "ST R1, R6(0)",
+                      "LD R7, R6(0)",
+                      "CMP R7, R0",
+                      f"BR NE, sk{label}",
+                      f"QWAIT {int(rng.integers(2, 9))}",
+                      f"sk{label}:"]
+            label += 1
+        elif kind == "live_load":
+            # LD above the only ST to its address: observes the
+            # previous shot, must fall back on both engines.
+            address = 4 * int(rng.integers(64, 80))
+            lines += [f"LDI R6, {address}", "LD R7, R6(0)",
+                      "ST R0, R6(0)"]
+        else:  # counted_loop
+            trips = int(rng.integers(2, 5))
+            lines += [f"LDI R9, {trips}",
+                      f"lp{label}:",
+                      f"{rng.choice(GATES)} S0", "QWAIT 5",
+                      "SUB R9, R9, R0",
+                      "CMP R9, R0",
+                      f"BR GE, lp{label}"]
+            label += 1
     lines += ["QWAIT 50", "STOP"]
 
     mock_plan: list[int] = []
@@ -189,20 +227,30 @@ def test_interpreter_and_replay_are_equivalent(seed):
     assert (interp_traces is None) == (replay_traces is None), \
         "one engine raised a timing violation, the other did not"
     if interp_traces is None:
+        ENGINE_MIX["timing-violation"] += 1
         return
 
     assert interpreter.last_run_engine == "interpreter"
     reasons = replay.replay_unsupported_reasons()
     if reasons:
-        # Static blockers (live stores): transparent fallback, and the
+        # Static blockers (live loads): transparent fallback, and the
         # run must still be a faithful interpreter run.
+        ENGINE_MIX["interpreter (static blocker)"] += 1
         assert replay.last_run_engine == "interpreter"
         assert replay.replay_fallback_reason == "; ".join(reasons)
     else:
-        assert replay.last_run_engine == "replay"
         stats = replay.engine_stats
         assert stats.shots_total == SHOTS
         assert stats.interpreter_shots + stats.replay_shots == SHOTS
+        if stats.replay_shots == 0:
+            # 100%-growth runs report the honest split (the tree never
+            # served a cached path, e.g. every path exceeds the caps).
+            ENGINE_MIX["interpreter (all growth)"] += 1
+            assert replay.last_run_engine == "interpreter"
+            assert "growth" in replay.replay_fallback_reason
+        else:
+            ENGINE_MIX["replay"] += 1
+            assert replay.last_run_engine == "replay"
 
     # Per-path timing-bit identity on every shared outcome path.
     interp_by_path = {}

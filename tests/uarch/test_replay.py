@@ -187,9 +187,29 @@ class TestReplayFallback:
         assert stats.interpreter_shots + stats.replay_shots == 20
         assert stats.segment_cache_misses == stats.interpreter_shots
 
-    def test_live_store_falls_back(self):
-        """A store that a later LD reads back is live across shots —
-        the one remaining data-memory hard blocker."""
+    def test_live_load_falls_back(self):
+        """A load that reads an address only stored *after* it (i.e.
+        by the previous shot, since data memory persists) is the one
+        remaining data-memory hard blocker — a same-shot store below
+        the load cannot kill it."""
+        machine = make_machine()
+        load(machine, """
+        SMIS S0, {0}
+        LDI R0, 7
+        LDI R1, 0
+        LD R2, R1(0)
+        ST R0, R1(0)
+        X S0
+        STOP
+        """)
+        machine.run(2)
+        assert machine.last_run_engine == "interpreter"
+        assert "ST" in machine.replay_fallback_reason
+        assert "live" in machine.replay_fallback_reason
+
+    def test_spill_reload_replays(self):
+        """The same ST/LD pair in kill order — store first, reload
+        after — is shot-local scratch traffic and replays."""
         machine = make_machine()
         load(machine, """
         SMIS S0, {0}
@@ -200,9 +220,11 @@ class TestReplayFallback:
         X S0
         STOP
         """)
-        machine.run(2)
-        assert machine.last_run_engine == "interpreter"
-        assert "ST" in machine.replay_fallback_reason
+        machine.run(20)
+        assert machine.last_run_engine == "replay"
+        assert machine.replay_fallback_reason is None
+        assert machine.engine_stats.killed_loads == 1
+        assert machine.engine_stats.replay_shots > 0
 
     def test_dead_store_replays(self):
         """A store no LD ever reads (host-readout deposit) is proven

@@ -122,6 +122,25 @@ class TestDetectionExperiment:
         assert result.detection_fraction(1) == 1.0
         assert result.detection_fraction(2) == 1.0
 
+    def test_looped_binary_matches_compiled_clean_rounds(self):
+        """The counted-loop syndrome binary: quiet Z-checks on clean
+        |0000> data, every round — and the looping program genuinely
+        rides the replay engine (the dataflow pass resolved the trip
+        count; a conservative analysis would not block it, but it
+        would at least mis-bound the measurement count)."""
+        from repro.experiments.surface_code import (
+            run_looped_surface_code_experiment,
+        )
+        result = run_looped_surface_code_experiment(rounds=3, shots=12)
+        assert result.rounds == 3
+        for round_index in range(3):
+            assert result.detection_fraction(round_index) == 0.0
+        stats = result.engine_stats
+        assert stats.engine == "replay"
+        assert stats.fallback_reason is None
+        assert stats.bounded_loops == 1
+        assert stats.replay_shots > 0
+
     def test_noisy_hardware_blurs_detection(self):
         # With the calibrated noise model, clean rounds show a real
         # false-positive rate (two 9.5 %-error readouts plus four
