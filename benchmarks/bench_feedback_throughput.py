@@ -25,12 +25,23 @@ Four scenarios cover the formerly fallback-only cases:
   binary written as a genuine counted ``SUB``/``CMP``/``BR`` loop
   (not compile-time unrolled): the dataflow pass resolves the trip
   count, so the looping binary rides replay
-  (``EngineStats.bounded_loops``);
+  (``EngineStats.bounded_loops``).  Measured *three ways* since the
+  stabilizer plant backend landed: the dense-matrix interpreter (the
+  historical wall), the tableau interpreter (every plant operation
+  polynomial — gated at >= 10x over dense when recording) and the
+  replay tree (growth shots on the tableau, cached shots pure trace
+  splices — both fast paths compound);
 * **scratch_spill_reload** — the comprehensive-benchmark kernel that
   spills both CFC round results to data memory, reloads and combines
   them: every load is killed by a same-shot store
   (``EngineStats.killed_loads``), so the same-shot ST -> LD traffic
-  no longer forces the interpreter.
+  no longer forces the interpreter;
+* **surface17** — distance-3 syndrome extraction on the 17-qubit chip
+  (64-bit instantiation): a workload the dense backend cannot
+  represent at all (a 2^17-dim density matrix is ~256 GB), run
+  tableau-interpreter vs tableau-replay.  Backend selection is
+  asserted per scenario: stabilizer for every Clifford scenario here,
+  dense for the Rabi/AllXY programs of the feedback-free bench.
 
 Runs two ways:
 
@@ -59,22 +70,32 @@ except ImportError:  # script mode without PYTHONPATH=src
 import numpy as np
 
 from repro.core import Assembler, seven_qubit_instantiation, \
-    two_qubit_instantiation
+    seventeen_qubit_instantiation, two_qubit_instantiation
 from repro.experiments.cfc import (
     CFC_SCRATCH_PROGRAM,
     CFC_TWO_ROUND_PROGRAM,
     FIG5_PROGRAM,
 )
 from repro.experiments.reset import FIG4_PROGRAM
+from repro.experiments.runner import ExperimentSetup
 from repro.experiments.surface_code import looped_surface_code_program
 from repro.quantum import NoiseModel, QuantumPlant
 from repro.quantum.noise import DecoherenceModel, GateErrorModel
 from repro.uarch import QuMAv2
+from repro.workloads.surface17 import (
+    SURFACE17_Z_ANCILLAS,
+    surface17_circuit,
+)
 
 #: Required end-to-end speedup when recording BENCH_ numbers.
 SPEEDUP_TARGET = 5.0
 #: CI gate (``--check``): regressions below this fail the build.
 CHECK_TARGET = 3.0
+#: Required tableau-over-dense interpreter speedup on the looped
+#: surface-code scenario when recording.
+TABLEAU_SPEEDUP_TARGET = 10.0
+#: CI floor for the tableau interpreter speedup.
+TABLEAU_CHECK_TARGET = 5.0
 
 PROGRAMS = {"active_reset": FIG4_PROGRAM, "cfc": CFC_TWO_ROUND_PROGRAM}
 
@@ -123,12 +144,13 @@ def _readout_only_noise() -> NoiseModel:
 
 
 def _make_machine(text: str, seed: int, isa=None,
-                  noise: NoiseModel | None = None) -> QuMAv2:
+                  noise: NoiseModel | None = None,
+                  plant_backend: str = "auto") -> QuMAv2:
     isa = isa or two_qubit_instantiation()
     plant = QuantumPlant(isa.topology,
                          noise=noise if noise is not None else NoiseModel(),
                          rng=np.random.default_rng(seed))
-    machine = QuMAv2(isa, plant)
+    machine = QuMAv2(isa, plant, plant_backend=plant_backend)
     machine.load(Assembler(isa).assemble_text(text))
     return machine
 
@@ -151,6 +173,9 @@ def measure_program(name: str, shots: int = 2000, seed: int = 13) -> dict:
     replay_traces, replay_s = _time_run(replay, shots, use_replay=True)
     assert replay.last_run_engine == "replay", \
         f"replay refused: {replay.replay_fallback_reason}"
+    # Calibrated T1/T2 noise is not Pauli: these scenarios must stay
+    # on the dense backend (the selection gate's negative case).
+    assert replay.last_plant_backend == "dense"
     stats = replay.engine_stats
 
     # Per-outcome-path timing equivalence: every path the replay engine
@@ -304,36 +329,53 @@ def measure_sweep_reuse(shots: int = 2000, seed: int = 13) -> dict:
 def measure_looped_surface_code(shots: int = 2000, seed: int = 13) -> dict:
     """Multi-round surface-code syndrome extraction as a counted loop.
 
-    The binary executes a genuine backward branch every round; the
-    dataflow pass unrolls the counter so the looping program replays.
-    The cross-check is per-outcome-path timing bit-identity plus
-    per-ancilla syndrome statistics between the engines.
+    Three-way measurement: the dense-matrix interpreter (the 128x128-
+    per-gate wall, sampled at a reduced shot count and extrapolated as
+    a rate), the stabilizer-tableau interpreter (automatic backend
+    selection — every gate Clifford, noise readout-only) and the
+    replay tree on top of the tableau.  Cross-checks: per-outcome-path
+    timing bit-identity between the tableau engines, per-ancilla
+    syndrome statistics across all three runs, and the backend
+    selections themselves.
     """
     program = looped_surface_code_program(SURFACE_CODE_ROUNDS)
 
-    def make(machine_seed):
+    def make(machine_seed, plant_backend="auto"):
         return _make_machine(program, machine_seed,
                              isa=seven_qubit_instantiation(),
-                             noise=_readout_only_noise())
+                             noise=_readout_only_noise(),
+                             plant_backend=plant_backend)
 
-    interpreter = make(seed)
-    interp_traces, interp_s = _time_run(interpreter, shots,
-                                        use_replay=False)
-    assert interpreter.last_run_engine == "interpreter"
+    # Dense-interpreter baseline: a few shots/s, so sample fewer shots
+    # and compare rates (the recorded throughputs are rates anyway).
+    dense_shots = max(50, shots // 10)
+    dense = make(seed, plant_backend="dense")
+    dense_traces, dense_s = _time_run(dense, dense_shots,
+                                      use_replay=False)
+    assert dense.last_run_engine == "interpreter"
+    assert dense.last_plant_backend == "dense"
 
-    replay = make(seed + 1)
+    tableau = make(seed + 1)
+    tableau_traces, tableau_s = _time_run(tableau, shots,
+                                          use_replay=False)
+    assert tableau.last_run_engine == "interpreter"
+    assert tableau.last_plant_backend == "stabilizer", \
+        f"tableau refused: {tableau.plant_backend_reason}"
+
+    replay = make(seed + 2)
     replay_traces, replay_s = _time_run(replay, shots, use_replay=True)
     assert replay.last_run_engine == "replay", \
         f"replay refused: {replay.replay_fallback_reason}"
+    assert replay.last_plant_backend == "stabilizer"
     assert replay.replay_fallback_reason is None
     stats = replay.engine_stats
     assert stats.bounded_loops == 1, "the loop was not statically bounded"
 
-    for trace in interp_traces + replay_traces:
+    for trace in dense_traces + tableau_traces + replay_traces:
         assert len(trace.results) == 2 * SURFACE_CODE_ROUNDS
 
     interp_by_path = {}
-    for trace in interp_traces:
+    for trace in tableau_traces:
         interp_by_path.setdefault(trace.outcome_path(), trace)
     checked = 0
     for trace in replay_traces:
@@ -346,10 +388,107 @@ def measure_looped_surface_code(shots: int = 2000, seed: int = 13) -> dict:
         checked += 1
     assert checked > 0, "no outcome path common to both engines"
 
-    # Per-ancilla, per-round syndrome rates must agree statistically.
-    tolerance = 4.5 * math.sqrt(0.5 / shots)
+    # Per-ancilla, per-round syndrome rates must agree statistically —
+    # across engines *and* across plant backends (the dense run has
+    # fewer shots, so its sampling error dominates the tolerance).
+    def rate(traces, ancilla, round_index):
+        fired = sum(
+            [r.reported_result for r in t.results
+             if r.qubit == ancilla][round_index]
+            for t in traces)
+        return fired / len(traces)
+
     for ancilla in (2, 4):
         for round_index in range(SURFACE_CODE_ROUNDS):
+            reference = rate(tableau_traces, ancilla, round_index)
+            assert abs(reference -
+                       rate(replay_traces, ancilla, round_index)) < \
+                4.5 * math.sqrt(0.5 / shots), \
+                f"ancilla {ancilla} round {round_index} (replay)"
+            assert abs(reference -
+                       rate(dense_traces, ancilla, round_index)) < \
+                4.5 * math.sqrt(0.5 / dense_shots), \
+                f"ancilla {ancilla} round {round_index} (dense)"
+
+    dense_rate = dense_shots / dense_s
+    tableau_rate = shots / tableau_s
+    replay_rate = shots / replay_s
+    return {
+        "shots": shots,
+        "rounds": SURFACE_CODE_ROUNDS,
+        "interpreter_shots_per_sec": round(dense_rate, 1),
+        "tableau_interpreter_shots_per_sec": round(tableau_rate, 1),
+        "tableau_interpreter_speedup": round(tableau_rate / dense_rate,
+                                             2),
+        "replay_shots_per_sec": round(replay_rate, 1),
+        "speedup": round(replay_rate / dense_rate, 2),
+        "paths_checked": checked,
+        "engine_stats": stats.as_dict(),
+    }
+
+
+#: Syndrome rounds of the distance-3 surface-17 scenario (kept at 2 so
+#: the 8-measurement outcome tree saturates within a smoke run).
+SURFACE17_ROUNDS = 2
+
+
+def measure_surface17(shots: int = 2000, seed: int = 13) -> dict:
+    """Distance-3 syndrome extraction on the 17-qubit chip.
+
+    This scenario has no dense baseline by construction: a 17-qubit
+    density matrix is a 2^17 x 2^17 complex array (~256 GB), which is
+    exactly why the stabilizer backend exists.  Measured
+    tableau-interpreter vs tableau-replay through the compiled 64-bit
+    binary, with the usual timing-bit and statistics cross-checks.
+    """
+    setup = ExperimentSetup.create(isa=seventeen_qubit_instantiation(),
+                                   noise=_readout_only_noise(),
+                                   seed=seed)
+    assembled = setup.compile_circuit(
+        surface17_circuit(rounds=SURFACE17_ROUNDS))
+
+    def make(machine_seed):
+        isa = seventeen_qubit_instantiation()
+        plant = QuantumPlant(isa.topology, noise=_readout_only_noise(),
+                             rng=np.random.default_rng(machine_seed))
+        machine = QuMAv2(isa, plant)
+        machine.load(assembled)
+        return machine
+
+    interpreter = make(seed)
+    interp_traces, interp_s = _time_run(interpreter, shots,
+                                        use_replay=False)
+    assert interpreter.last_run_engine == "interpreter"
+    assert interpreter.last_plant_backend == "stabilizer", \
+        f"tableau refused: {interpreter.plant_backend_reason}"
+
+    replay = make(seed + 1)
+    replay_traces, replay_s = _time_run(replay, shots, use_replay=True)
+    assert replay.last_run_engine == "replay", \
+        f"replay refused: {replay.replay_fallback_reason}"
+    assert replay.last_plant_backend == "stabilizer"
+    stats = replay.engine_stats
+
+    for trace in interp_traces + replay_traces:
+        assert len(trace.results) == \
+            len(SURFACE17_Z_ANCILLAS) * SURFACE17_ROUNDS
+
+    interp_by_path = {}
+    for trace in interp_traces:
+        interp_by_path.setdefault(trace.outcome_path(), trace)
+    checked = 0
+    for trace in replay_traces:
+        reference = interp_by_path.get(trace.outcome_path())
+        if reference is None:
+            continue
+        assert reference.triggers == trace.triggers
+        assert reference.classical_time_ns == trace.classical_time_ns
+        checked += 1
+    assert checked > 0, "no outcome path common to both engines"
+
+    tolerance = 4.5 * math.sqrt(0.5 / shots)
+    for ancilla in SURFACE17_Z_ANCILLAS:
+        for round_index in range(SURFACE17_ROUNDS):
             def rate(traces):
                 fired = sum(
                     [r.reported_result for r in t.results
@@ -361,7 +500,8 @@ def measure_looped_surface_code(shots: int = 2000, seed: int = 13) -> dict:
 
     return {
         "shots": shots,
-        "rounds": SURFACE_CODE_ROUNDS,
+        "rounds": SURFACE17_ROUNDS,
+        "qubits": 17,
         "interpreter_shots_per_sec": round(shots / interp_s, 1),
         "replay_shots_per_sec": round(shots / replay_s, 1),
         "speedup": round(interp_s / replay_s, 2),
@@ -442,16 +582,23 @@ def run_benchmark(shots: int = 2000) -> dict:
         measure_looped_surface_code(shots=shots)
     programs["scratch_spill_reload"] = \
         measure_scratch_spill_reload(shots=shots)
+    programs["surface17"] = measure_surface17(shots=shots)
     return {
         "benchmark": "bench_feedback_throughput",
         "description": "interpreter vs branch-resolved replay tree, "
-                       "feedback programs (active reset / CFC), "
-                       "end-to-end shots/sec",
+                       "feedback programs (active reset / CFC / "
+                       "surface code d2+d3), end-to-end shots/sec; "
+                       "the surface-code scenarios also gate the "
+                       "stabilizer plant backend",
         "speedup_target": SPEEDUP_TARGET,
         "check_target": CHECK_TARGET,
+        "tableau_speedup_target": TABLEAU_SPEEDUP_TARGET,
+        "tableau_check_target": TABLEAU_CHECK_TARGET,
         "programs": programs,
         "min_speedup": min(entry["speedup"]
                            for entry in programs.values()),
+        "tableau_interpreter_speedup": programs[
+            "looped_surface_code"]["tableau_interpreter_speedup"],
     }
 
 
@@ -487,6 +634,14 @@ def test_looped_surface_code_speedup():
     result = measure_looped_surface_code(shots=2000)
     print(f"\nlooped_surface_code: {result}")
     assert result["speedup"] >= SPEEDUP_TARGET
+    assert result["tableau_interpreter_speedup"] >= \
+        TABLEAU_SPEEDUP_TARGET
+
+
+def test_surface17_speedup():
+    result = measure_surface17(shots=2000)
+    print(f"\nsurface17: {result}")
+    assert result["speedup"] >= SPEEDUP_TARGET
 
 
 def test_scratch_spill_reload_speedup():
@@ -515,6 +670,12 @@ def main() -> int:
     if args.check and result["min_speedup"] < CHECK_TARGET:
         print(f"FAIL: speedup {result['min_speedup']}x below the "
               f"{CHECK_TARGET}x gate")
+        return 1
+    if args.check and result["tableau_interpreter_speedup"] < \
+            TABLEAU_CHECK_TARGET:
+        print(f"FAIL: tableau interpreter speedup "
+              f"{result['tableau_interpreter_speedup']}x below the "
+              f"{TABLEAU_CHECK_TARGET}x gate")
         return 1
     return 0
 

@@ -89,6 +89,12 @@ def measure_program(name: str, shots: int = 1000, seed: int = 13) -> dict:
     replay_traces, replay_s = _time_run(replay, shots, use_replay=True)
     assert replay.last_run_engine == "replay", \
         f"replay refused: {replay.replay_fallback_reason}"
+    # The Rabi/AllXY scenarios run under the calibrated T1/T2 noise
+    # model, which is not Pauli — backend selection must keep them on
+    # the dense density matrix (the stabilizer backend's static pass
+    # rejects the noise, not the gates).
+    assert replay.last_plant_backend == "dense", \
+        f"expected the dense backend for {name}"
 
     # Equivalence spot-checks: identical timing records, compatible
     # measurement statistics.  The tolerance scales with the shot

@@ -18,6 +18,7 @@ from repro.core.errors import (
 from repro.core.isa import (
     EQASMInstantiation,
     seven_qubit_instantiation,
+    seventeen_qubit_instantiation,
     two_qubit_instantiation,
 )
 from repro.core.microcode import (
@@ -82,5 +83,6 @@ __all__ = [
     "build_timeline",
     "default_operation_set",
     "seven_qubit_instantiation",
+    "seventeen_qubit_instantiation",
     "two_qubit_instantiation",
 ]

@@ -57,13 +57,17 @@ class AssembledProgram:
     program: Program
     words: list[int]
     source: str = ""
+    #: Bytes per instruction word (4 for the paper's 32-bit
+    #: instantiation, 8 for the 64-bit surface-17 one).
+    word_size: int = 4
 
     def __len__(self) -> int:
         return len(self.words)
 
     def word_bytes(self) -> bytes:
         """Little-endian byte image of the instruction memory."""
-        return b"".join(word.to_bytes(4, "little") for word in self.words)
+        return b"".join(word.to_bytes(self.word_size, "little")
+                        for word in self.words)
 
 
 class Assembler:
@@ -90,7 +94,8 @@ class Assembler:
         resolved = split.resolve_labels()
         self._validate_branch_offsets(resolved)
         words = [self._encoder.encode(ins) for ins in resolved.instructions]
-        return AssembledProgram(program=resolved, words=words)
+        return AssembledProgram(program=resolved, words=words,
+                                word_size=self.isa.instruction_width // 8)
 
     # ------------------------------------------------------------------
     # Validation

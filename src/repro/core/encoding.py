@@ -1,19 +1,31 @@
-"""Binary instruction encoding/decoding for the 32-bit instantiation.
+"""Binary instruction encoding/decoding, parameterised by word width.
 
-Quantum-instruction formats follow Fig. 8 exactly (bit 31 first):
+The binary format is an *instantiation-time* choice (Section 2.4: "the
+binary format is defined during the instantiation of eQASM").  The
+field layout is derived from :attr:`EQASMInstantiation.instruction_width`
+(``W``); for the paper's 32-bit instantiation it reproduces Fig. 8 bit
+for bit (bit 31 first):
 
 ====================  =================================================
-SMIS                  ``0 | opcode(6) | Sd(5) | pad(13) | mask(7)``
-SMIT                  ``0 | opcode(6) | Td(5) | pad(4)  | mask(16)``
+SMIS                  ``0 | opcode(6) | Sd(5) @ W-12 | pad | mask``
+SMIT                  ``0 | opcode(6) | Td(5) @ W-12 | pad | mask``
 QWAIT                 ``0 | opcode(6) | pad(5) | imm(20)``
 QWAITR                ``0 | opcode(6) | pad(5) | Rs(5) | pad(15)``
-bundle                ``1 | q_op0(9) | st0(5) | q_op1(9) | st1(5) | PI(3)``
+bundle                ``1 | q_op0(9) | st0(5) | q_op1(9) | st1(5) | PI``
 ====================  =================================================
+
+With ``W = 32`` the Sd/Td fields land at bit 20 and the bundle slots at
+22/17/8/3 — exactly Fig. 8 (``SMIS: pad(13) mask(7)``, ``SMIT: pad(4)
+mask(16)``).  Wider instantiations scale the quantum formats up: the
+17-qubit surface-code chip needs a 48-bit pair mask, which the 64-bit
+instantiation (:func:`repro.core.isa.seventeen_qubit_instantiation`)
+fits below its Td field at bit 52.  Classical formats keep their fixed
+low-bit positions at every width.
 
 The paper leaves classical formats unspecified ("for brevity, we only
 present the format of quantum instructions"); our instantiation uses a
-MIPS-like layout inside the remaining 25 bits, documented per opcode in
-:data:`CLASSICAL_OPCODES` and the field tables below:
+MIPS-like layout inside the bits below the opcode, documented per
+opcode in :data:`CLASSICAL_OPCODES` and the field tables below:
 
 * R-type (CMP/AND/OR/XOR/ADD/SUB/NOT): ``rd@24..20 rs@19..15 rt@14..10``
   (CMP leaves rd = 0; NOT leaves rs = 0);
@@ -84,8 +96,29 @@ CLASSICAL_OPCODES = {
 
 _OPCODE_TO_MNEMONIC = {value: key for key, value in CLASSICAL_OPCODES.items()}
 
-_BUNDLE_FLAG_BIT = 31
-_OPCODE_SHIFT = 25
+
+class _WordLayout:
+    """Bit positions of the width-dependent fields for one word size.
+
+    Every shift is expressed relative to the word's top bit so that
+    ``width == 32`` reproduces Fig. 8 exactly; see the module
+    docstring.  Shared by the encoder and the decoder, which keeps the
+    two inverse by construction.
+    """
+
+    def __init__(self, width: int):
+        if width % 8 or width < 32:
+            raise EncodingError(
+                f"instruction width {width} must be a multiple of 8 "
+                f"bits, at least 32")
+        self.width = width
+        self.flag_bit = width - 1          # bundle/single discriminator
+        self.opcode_shift = width - 7      # 6-bit classical opcode
+        self.target_shift = width - 12     # SMIS Sd / SMIT Td (5 bits)
+        self.slot0_op_shift = width - 10   # bundle lane 0 q opcode (9)
+        self.slot0_reg_shift = width - 15  # bundle lane 0 target (5)
+        self.slot1_op_shift = width - 24   # bundle lane 1 q opcode (9)
+        self.slot1_reg_shift = width - 29  # bundle lane 1 target (5)
 
 
 def _check_field(name: str, value: int, width: int) -> int:
@@ -115,16 +148,17 @@ def _sign_extend(value: int, width: int) -> int:
 
 
 class InstructionEncoder:
-    """Encodes instruction objects into 32-bit words for an instantiation."""
+    """Encodes instruction objects into words for an instantiation."""
 
     def __init__(self, isa: EQASMInstantiation):
         self.isa = isa
+        self._layout = _WordLayout(isa.instruction_width)
 
     # ------------------------------------------------------------------
     # Top-level encode
     # ------------------------------------------------------------------
     def encode(self, instruction: Instruction) -> int:
-        """Encode one instruction into a 32-bit word.
+        """Encode one instruction into an instruction-width word.
 
         Bundles must already fit the VLIW width (the assembler splits
         longer ones) and BR targets must be resolved offsets.
@@ -135,9 +169,10 @@ class InstructionEncoder:
 
     def _single_word(self, mnemonic: str, body: int) -> int:
         opcode = CLASSICAL_OPCODES[mnemonic]
-        if body >= (1 << _OPCODE_SHIFT):
-            raise EncodingError(f"{mnemonic} body overflows 25 bits")
-        return (opcode << _OPCODE_SHIFT) | body
+        shift = self._layout.opcode_shift
+        if body >= (1 << shift):
+            raise EncodingError(f"{mnemonic} body overflows {shift} bits")
+        return (opcode << shift) | body
 
     def _encode_single(self, ins: Instruction) -> int:
         isa = self.isa
@@ -200,16 +235,28 @@ class InstructionEncoder:
         if isinstance(ins, SMIS):
             if ins.sd >= isa.num_single_qubit_target_registers:
                 raise EncodingError(f"S{ins.sd} out of range")
+            if isa.qubit_mask_field_width > self._layout.target_shift:
+                raise EncodingError(
+                    f"{isa.qubit_mask_field_width}-bit qubit mask does "
+                    f"not fit below the Sd field of a "
+                    f"{self._layout.width}-bit word")
             mask = isa.qubit_mask(ins.qubits)
-            body = (_check_field("Sd", ins.sd, 5) << 20) | \
-                   _check_field("mask", mask, isa.qubit_mask_field_width)
+            body = (_check_field("Sd", ins.sd, 5) <<
+                    self._layout.target_shift) | \
+                _check_field("mask", mask, isa.qubit_mask_field_width)
             return self._single_word("SMIS", body)
         if isinstance(ins, SMIT):
             if ins.td >= isa.num_two_qubit_target_registers:
                 raise EncodingError(f"T{ins.td} out of range")
+            if isa.pair_mask_field_width > self._layout.target_shift:
+                raise EncodingError(
+                    f"{isa.pair_mask_field_width}-bit pair mask does "
+                    f"not fit below the Td field of a "
+                    f"{self._layout.width}-bit word")
             mask = isa.pair_mask(ins.pairs)
-            body = (_check_field("Td", ins.td, 5) << 20) | \
-                   _check_field("mask", mask, isa.pair_mask_field_width)
+            body = (_check_field("Td", ins.td, 5) <<
+                    self._layout.target_shift) | \
+                _check_field("mask", mask, isa.pair_mask_field_width)
             return self._single_word("SMIT", body)
         if isinstance(ins, QWait):
             body = _check_field("imm", ins.cycles,
@@ -222,24 +269,25 @@ class InstructionEncoder:
 
     def _encode_bundle(self, bundle: Bundle) -> int:
         isa = self.isa
+        layout = self._layout
         if len(bundle.operations) > isa.vliw_width:
             raise EncodingError(
                 f"bundle holds {len(bundle.operations)} operations; the "
                 f"VLIW width is {isa.vliw_width} (assembler must split)")
         if isa.vliw_width != 2:
             raise EncodingError(
-                "the 32-bit bundle word encodes exactly 2 VLIW slots")
+                "the bundle word encodes exactly 2 VLIW slots")
         _check_field("PI", bundle.pi, isa.pi_width)
         slots = list(bundle.operations)
         while len(slots) < isa.vliw_width:
             slots.append(BundleOperation(name=isa.operations.QNOP_NAME,
                                          register=None))
         encoded_slots = [self._encode_slot(slot) for slot in slots]
-        word = 1 << _BUNDLE_FLAG_BIT
-        word |= encoded_slots[0][0] << 22
-        word |= encoded_slots[0][1] << 17
-        word |= encoded_slots[1][0] << 8
-        word |= encoded_slots[1][1] << 3
+        word = 1 << layout.flag_bit
+        word |= encoded_slots[0][0] << layout.slot0_op_shift
+        word |= encoded_slots[0][1] << layout.slot0_reg_shift
+        word |= encoded_slots[1][0] << layout.slot1_op_shift
+        word |= encoded_slots[1][1] << layout.slot1_reg_shift
         word |= bundle.pi
         return word
 
@@ -271,16 +319,19 @@ class InstructionEncoder:
 
 
 class InstructionDecoder:
-    """Decodes 32-bit words back into instruction objects."""
+    """Decodes instruction-width words back into instruction objects."""
 
     def __init__(self, isa: EQASMInstantiation):
         self.isa = isa
+        self._layout = _WordLayout(isa.instruction_width)
 
     def decode(self, word: int) -> Instruction:
-        """Decode one 32-bit word."""
-        if not 0 <= word < (1 << 32):
-            raise DecodingError(f"word {word:#x} is not 32 bits")
-        if (word >> _BUNDLE_FLAG_BIT) & 1:
+        """Decode one instruction-width word."""
+        layout = self._layout
+        if not 0 <= word < (1 << layout.width):
+            raise DecodingError(
+                f"word {word:#x} is not {layout.width} bits")
+        if (word >> layout.flag_bit) & 1:
             return self._decode_bundle(word)
         return self._decode_single(word)
 
@@ -294,7 +345,7 @@ class InstructionDecoder:
 
     def _decode_single(self, word: int) -> Instruction:
         isa = self.isa
-        opcode = (word >> _OPCODE_SHIFT) & 0x3F
+        opcode = (word >> self._layout.opcode_shift) & 0x3F
         mnemonic = _OPCODE_TO_MNEMONIC.get(opcode)
         if mnemonic is None:
             raise DecodingError(f"unknown single-format opcode {opcode}")
@@ -331,17 +382,19 @@ class InstructionDecoder:
         if mnemonic in ("ADD", "SUB"):
             return ArithOp(mnemonic_name=mnemonic, rd=rd, rs=rs, rt=rt)
         if mnemonic == "SMIS":
+            sd = (word >> self._layout.target_shift) & 0x1F
             mask = word & ((1 << isa.qubit_mask_field_width) - 1)
             qubits = isa.qubits_from_mask(mask)
             if not qubits:
                 raise DecodingError("SMIS with empty mask")
-            return SMIS(sd=rd, qubits=frozenset(qubits))
+            return SMIS(sd=sd, qubits=frozenset(qubits))
         if mnemonic == "SMIT":
+            td = (word >> self._layout.target_shift) & 0x1F
             mask = word & ((1 << isa.pair_mask_field_width) - 1)
             pairs = isa.pairs_from_mask(mask)
             if not pairs:
                 raise DecodingError("SMIT with empty mask")
-            return SMIT(td=rd, pairs=frozenset(pairs))
+            return SMIT(td=td, pairs=frozenset(pairs))
         if mnemonic == "QWAIT":
             return QWait(
                 cycles=word & ((1 << isa.qwait_immediate_width) - 1))
@@ -351,10 +404,13 @@ class InstructionDecoder:
 
     def _decode_bundle(self, word: int) -> Bundle:
         isa = self.isa
+        layout = self._layout
         pi = word & ((1 << isa.pi_width) - 1)
         raw_slots = [
-            ((word >> 22) & 0x1FF, (word >> 17) & 0x1F),
-            ((word >> 8) & 0x1FF, (word >> 3) & 0x1F),
+            ((word >> layout.slot0_op_shift) & 0x1FF,
+             (word >> layout.slot0_reg_shift) & 0x1F),
+            ((word >> layout.slot1_op_shift) & 0x1FF,
+             (word >> layout.slot1_reg_shift) & 0x1F),
         ]
         operations = []
         for opcode, register_index in raw_slots:

@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 from repro.core.errors import ConfigurationError
 from repro.core.operations import OperationSet, default_operation_set
 from repro.topology.chip import QuantumChipTopology
-from repro.topology.library import surface7, two_qubit_chip
+from repro.topology.library import surface7, surface17, two_qubit_chip
 
 
 @dataclass
@@ -69,6 +69,20 @@ class EQASMInstantiation:
             raise ConfigurationError("too many S registers for the field")
         if self.num_two_qubit_target_registers > max_register:
             raise ConfigurationError("too many T registers for the field")
+        # The SMIS/SMIT layout places the 5-bit target-register field
+        # 12 bits below the word's top; masks live in the bits below it
+        # (see repro.core.encoding).
+        mask_room = self.instruction_width - 12
+        if self.qubit_mask_field_width > mask_room:
+            raise ConfigurationError(
+                f"{self.qubit_mask_field_width}-bit qubit masks do not "
+                f"fit a {self.instruction_width}-bit word (at most "
+                f"{mask_room}); widen the instruction format")
+        if self.pair_mask_field_width > mask_room:
+            raise ConfigurationError(
+                f"{self.pair_mask_field_width}-bit pair masks do not "
+                f"fit a {self.instruction_width}-bit word (at most "
+                f"{mask_room}); widen the instruction format")
 
     # ------------------------------------------------------------------
     # Derived limits
@@ -137,6 +151,28 @@ def seven_qubit_instantiation(
         name="eqasm-7q-32bit",
         topology=surface7(),
         operations=operations or default_operation_set(),
+    )
+
+
+def seventeen_qubit_instantiation(
+        operations: OperationSet | None = None) -> EQASMInstantiation:
+    """A 64-bit instantiation for the distance-3 surface-17 chip.
+
+    The paper's 32-bit format cannot address this chip: 24 couplings x
+    2 directions need a 48-bit pair mask, far past the 16 bits of
+    Fig. 8 (the paper itself notes the instantiation — word width
+    included — is free per platform).  Doubling the word width keeps
+    every format rule intact (the field layout scales with the width;
+    see :mod:`repro.core.encoding`) while fitting the 17-bit qubit
+    mask and the 48-bit pair mask.
+    """
+    return EQASMInstantiation(
+        name="eqasm-17q-64bit",
+        topology=surface17(),
+        operations=operations or default_operation_set(),
+        instruction_width=64,
+        qubit_mask_field_width=17,
+        pair_mask_field_width=48,
     )
 
 

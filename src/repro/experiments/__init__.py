@@ -37,7 +37,10 @@ from repro.experiments.rb_timing import (
 )
 from repro.experiments.reset import ResetResult, run_active_reset_experiment
 from repro.experiments.surface_code import (
+    Surface17Result,
     SurfaceCodeResult,
+    run_looped_surface_code_experiment,
+    run_surface17_experiment,
     run_surface_code_experiment,
 )
 from repro.experiments.runner import (
@@ -80,8 +83,11 @@ __all__ = [
     "run_rabi_experiment",
     "run_ramsey_experiment",
     "run_rb_timing_experiment",
+    "run_looped_surface_code_experiment",
+    "run_surface17_experiment",
     "run_surface_code_experiment",
     "run_t1_experiment",
+    "Surface17Result",
     "SurfaceCodeResult",
     "staircase_rms_error",
 ]

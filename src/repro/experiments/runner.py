@@ -52,18 +52,29 @@ class ExperimentSetup:
     def create(cls, isa: EQASMInstantiation | None = None,
                noise: NoiseModel | None = None,
                seed: int = 0,
-               config: UarchConfig | None = None) -> "ExperimentSetup":
+               config: UarchConfig | None = None,
+               plant_backend: str = "auto") -> "ExperimentSetup":
         """Build the Section 5 experimental setup.
 
         Defaults: the two-qubit instantiation, the calibrated noise
         model, and the paper-like microarchitecture configuration.
+
+        ``plant_backend`` sets the machine's plant-backend policy:
+        ``"auto"`` (default) statically checks each loaded binary and
+        the noise model, running Clifford programs under
+        Pauli/readout-only noise on the polynomial-cost stabilizer
+        tableau and **falling back to the dense density matrix for
+        anything non-Clifford** (Rabi pulses, T gates, T1/T2
+        decoherence); ``"dense"`` or ``"stabilizer"`` pin a backend.
+        The choice is reported per run via :attr:`last_plant_backend`.
         """
         isa = isa or two_qubit_instantiation()
         plant = QuantumPlant(isa.topology,
                              noise=noise if noise is not None
                              else NoiseModel(),
                              rng=np.random.default_rng(seed))
-        machine = QuMAv2(isa, plant, config=config)
+        machine = QuMAv2(isa, plant, config=config,
+                         plant_backend=plant_backend)
         return cls(isa=isa, machine=machine, assembler=Assembler(isa))
 
     # ------------------------------------------------------------------
@@ -163,6 +174,15 @@ class ExperimentSetup:
         segment-cache hits) without aliasing the live, still-mutating
         stats object."""
         return self.machine.engine_stats_snapshot()
+
+    @property
+    def last_plant_backend(self) -> str | None:
+        """Plant backend of the most recent ``run*`` call —
+        "stabilizer" when the static pass proved the binary Clifford
+        and the noise Pauli/readout-only, "dense" otherwise (the
+        non-Clifford fallback; the reason is in
+        ``machine.plant_backend_reason``)."""
+        return self.machine.last_plant_backend
 
     def clear_replay_cache(self) -> None:
         """Drop the machine's cross-run timeline-tree cache (see

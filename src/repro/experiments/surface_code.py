@@ -25,10 +25,18 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.isa import seven_qubit_instantiation
+from repro.core.isa import (
+    seven_qubit_instantiation,
+    seventeen_qubit_instantiation,
+)
 from repro.experiments.runner import ExperimentSetup
 from repro.quantum.noise import NoiseModel
 from repro.uarch.replay import EngineStats
+from repro.workloads.surface17 import (
+    SURFACE17_Z_ANCILLAS,
+    Syndrome17,
+    surface17_circuit,
+)
 from repro.workloads.surface_code import (
     Syndrome,
     surface_code_circuit,
@@ -158,6 +166,68 @@ def run_looped_surface_code_experiment(
     return SurfaceCodeResult(rounds=rounds,
                              syndromes_per_shot=syndromes_per_shot,
                              engine_stats=setup.last_engine_stats)
+
+
+@dataclass
+class Surface17Result:
+    """Per-round distance-3 Z syndromes over all shots."""
+
+    rounds: int
+    syndromes_per_shot: list[list[Syndrome17]]
+    #: Which plant backend held the 17-qubit state ("stabilizer" —
+    #: the dense matrix cannot even be allocated at this width).
+    plant_backend: str | None = None
+    engine_stats: EngineStats = field(default_factory=EngineStats)
+
+    def detection_fraction(self, round_index: int) -> float:
+        """Fraction of shots whose syndrome fired in a given round."""
+        fired = sum(1 for shot in self.syndromes_per_shot
+                    if shot[round_index].fired())
+        return fired / len(self.syndromes_per_shot)
+
+
+def run_surface17_experiment(
+        rounds: int = 2,
+        error: tuple[str, int] | None = None,
+        error_after_round: int = 0,
+        shots: int = 50, seed: int = 29,
+        noise: NoiseModel | None = None) -> Surface17Result:
+    """Distance-3 syndrome extraction on the 17-qubit chip.
+
+    This experiment is *only* runnable on the stabilizer-tableau plant
+    backend — a 17-qubit density matrix is ~256 GB — so the noise model
+    must stay Pauli/readout-only (the default is noiseless); the
+    machine's automatic backend selection then picks the tableau, and
+    with zero gate error the branch-resolved replay tree compounds on
+    top.  Shots are streamed and reduced to per-round Z syndromes
+    exactly like the distance-2 experiment.
+    """
+    setup = ExperimentSetup.create(
+        isa=seventeen_qubit_instantiation(),
+        noise=noise if noise is not None else NoiseModel.noiseless(),
+        seed=seed)
+    circuit = surface17_circuit(rounds=rounds, error=error,
+                                error_after_round=error_after_round)
+    syndromes_per_shot: list[list[Syndrome17]] = []
+    for trace in setup.run_circuit_iter(circuit, shots):
+        per_ancilla = {
+            ancilla: [r.reported_result
+                      for r in trace.results_for(ancilla)]
+            for ancilla in SURFACE17_Z_ANCILLAS}
+        for ancilla, results in per_ancilla.items():
+            if len(results) != rounds:
+                raise RuntimeError(
+                    f"expected {rounds} results on ancilla {ancilla} "
+                    f"per shot, got {len(results)}")
+        syndromes_per_shot.append([
+            Syndrome17(z_checks=tuple(
+                (ancilla, per_ancilla[ancilla][index])
+                for ancilla in SURFACE17_Z_ANCILLAS))
+            for index in range(rounds)])
+    return Surface17Result(rounds=rounds,
+                           syndromes_per_shot=syndromes_per_shot,
+                           plant_backend=setup.last_plant_backend,
+                           engine_stats=setup.last_engine_stats)
 
 
 def format_surface_code_report(clean: SurfaceCodeResult,

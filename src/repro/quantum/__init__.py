@@ -1,5 +1,6 @@
 """Quantum-state substrate: gates, simulators, noise, plant, tomography."""
 
+from repro.quantum.backend import DenseBackend, PlantBackend
 from repro.quantum.density_matrix import DensityMatrix
 from repro.quantum.noise import (
     DecoherenceModel,
@@ -8,17 +9,31 @@ from repro.quantum.noise import (
     ReadoutErrorModel,
 )
 from repro.quantum.plant import AppliedOperation, QuantumPlant
+from repro.quantum.stabilizer import (
+    CliffordAction,
+    StabilizerBackend,
+    StabilizerTableau,
+    clifford_action_of,
+    is_clifford,
+)
 from repro.quantum.statevector import Statevector, basis_state, zero_state
 
 __all__ = [
     "AppliedOperation",
+    "CliffordAction",
     "DecoherenceModel",
+    "DenseBackend",
     "DensityMatrix",
     "GateErrorModel",
     "NoiseModel",
+    "PlantBackend",
     "QuantumPlant",
     "ReadoutErrorModel",
+    "StabilizerBackend",
+    "StabilizerTableau",
     "Statevector",
     "basis_state",
+    "clifford_action_of",
+    "is_clifford",
     "zero_state",
 ]

@@ -92,11 +92,28 @@ class DecoherenceModel:
     t1_ns: float = 40_000.0
     t2_ns: float = 25_000.0
 
+    #: Time constants at or above this are treated as "no decoherence"
+    #: (:meth:`is_negligible`); :meth:`NoiseModel.noiseless` uses 1e15.
+    NEGLIGIBLE_NS = 1e12
+
     def __post_init__(self) -> None:
         if self.t1_ns <= 0 or self.t2_ns <= 0:
             raise PlantError("T1 and T2 must be positive")
         if self.t2_ns > 2 * self.t1_ns + 1e-9:
             raise PlantError("T2 cannot exceed 2*T1")
+
+    @property
+    def is_negligible(self) -> bool:
+        """Whether idling is effectively noise-free.
+
+        True when both time constants are at least
+        :data:`NEGLIGIBLE_NS` (a millisecond-scale shot then idles with
+        error below 1e-9, under double-precision noise anyway).  The
+        stabilizer plant backend — which cannot represent the non-Pauli
+        T1/T2 channels — is only eligible when this holds.
+        """
+        return (self.t1_ns >= self.NEGLIGIBLE_NS and
+                self.t2_ns >= self.NEGLIGIBLE_NS)
 
     @property
     def tphi_ns(self) -> float:
@@ -218,6 +235,12 @@ class GateErrorModel:
             return depolarizing(self.two_qubit_error, 2)
         raise PlantError("only 1- and 2-qubit gates are supported")
 
+    @property
+    def is_zero(self) -> bool:
+        """Whether gates are error-free (both probabilities zero)."""
+        return self.single_qubit_error == 0.0 and \
+            self.two_qubit_error == 0.0
+
 
 @dataclass(frozen=True)
 class NoiseModel:
@@ -231,6 +254,19 @@ class NoiseModel:
     decoherence: DecoherenceModel = DecoherenceModel()
     readout: ReadoutErrorModel = ReadoutErrorModel()
     gate_error: GateErrorModel = GateErrorModel()
+
+    @property
+    def is_pauli_plus_readout(self) -> bool:
+        """Whether every quantum channel of this model is Pauli.
+
+        Depolarizing gate error is a Pauli mixture and the readout
+        assignment error is purely classical, so the only obstruction
+        is idle decoherence (amplitude damping is not Pauli).  Models
+        satisfying this are eligible for the stabilizer plant backend
+        (non-Clifford *gates* can still force the dense backend — see
+        :meth:`repro.uarch.machine.QuMAv2.plant_backend_reasons`).
+        """
+        return self.decoherence.is_negligible
 
     @staticmethod
     def noiseless() -> "NoiseModel":

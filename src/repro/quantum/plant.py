@@ -5,8 +5,26 @@ In the paper's hardware (Fig. 10), the microarchitecture's digital output
 triggers codeword-selected pulses that drive the transmon chip.  In this
 reproduction, the plant stands in for the chip *plus* the analog
 electronics: it accepts trigger events ("apply unitary U to qubits (a, b)
-at time t", "start measuring qubit q at time t") and maintains an exact
-density matrix under a calibrated noise model.
+at time t", "start measuring qubit q at time t") and maintains the joint
+quantum state under a calibrated noise model.
+
+*How* the state is represented is delegated to a pluggable
+:class:`~repro.quantum.backend.PlantBackend`:
+
+* the **dense** backend (default) keeps an exact density matrix with
+  Kraus-channel noise — any unitary, any noise model, O(4^n) per gate;
+* the **stabilizer** backend (:mod:`repro.quantum.stabilizer`) keeps a
+  Gottesman–Knill tableau — Clifford gates and Pauli/readout-only
+  noise, polynomial cost, which is what lets surface-code-scale chips
+  (the 17-qubit distance-3 patch) run at all.
+
+:meth:`repro.uarch.machine.QuMAv2.run_iter` selects the backend
+automatically per run from a static pass over the loaded binary plus
+the noise model, and falls back to the dense backend transparently for
+non-Clifford programs; callers can pin a backend with
+:meth:`use_backend`.  Backends are constructed lazily, so merely
+building a plant for a wide chip never allocates the (possibly
+infeasible) dense matrix.
 
 Physics modelled:
 
@@ -26,11 +44,12 @@ to avoid this) and raises :class:`~repro.core.errors.PlantError`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.core.errors import PlantError
+from repro.quantum.backend import DenseBackend, PlantBackend
 from repro.quantum.density_matrix import DensityMatrix
 from repro.quantum.noise import NoiseModel
 from repro.topology.chip import QuantumChipTopology
@@ -48,20 +67,24 @@ class AppliedOperation:
 
 @dataclass(frozen=True)
 class PlantSnapshot:
-    """A frozen mid-shot plant state, restorable in O(dim^2).
+    """A frozen mid-shot plant state, restorable in O(state size).
 
     Used by the shot-replay engine to cache the (deterministic) state
     reached just before the first stochastic operation of a shot, so
     replayed shots skip re-evolving the whole deterministic prefix.
+    ``state`` is the owning backend's opaque snapshot (a density matrix
+    for the dense backend, a tableau for the stabilizer backend); it
+    can only be restored onto a plant using the same backend kind.
     """
 
-    state: DensityMatrix
+    state: object
     qubit_free_at: dict[int, float]
     operations_log: tuple[AppliedOperation, ...]
+    backend_kind: str = "dense"
 
 
 class QuantumPlant:
-    """Density-matrix model of the chip behind the ADI.
+    """Backend-pluggable model of the chip behind the ADI.
 
     Parameters
     ----------
@@ -74,18 +97,31 @@ class QuantumPlant:
     rng:
         Random generator for measurement sampling.  Pass a seeded
         generator for reproducible shots.
+    backend:
+        Initial state-backend kind, ``"dense"`` (exact density matrix,
+        the default) or ``"stabilizer"`` (Clifford tableau).  The
+        backend is constructed on first use and can be swapped between
+        shots with :meth:`use_backend` — which is how the machine's
+        automatic selection plugs in.
     """
+
+    #: Registered backend constructors (kind -> class).  The stabilizer
+    #: backend registers itself here on import, avoiding a hard import
+    #: cycle; third-party backends may add entries as well.
+    BACKENDS: dict[str, type[PlantBackend]] = {"dense": DenseBackend}
 
     def __init__(self, topology: QuantumChipTopology,
                  noise: NoiseModel | None = None,
-                 rng: np.random.Generator | None = None):
+                 rng: np.random.Generator | None = None,
+                 backend: str = "dense"):
         self.topology = topology
         self.noise = noise if noise is not None else NoiseModel()
         self.rng = rng if rng is not None else np.random.default_rng()
         self._index_of = {address: index
                           for index, address in enumerate(topology.qubits)}
         self.num_qubits = len(topology.qubits)
-        self.state = DensityMatrix(self.num_qubits)
+        self._backend_kind = backend
+        self._backend: PlantBackend | None = None
         self._qubit_free_at = {address: 0.0 for address in topology.qubits}
         self.operations_log: list[AppliedOperation] = []
         #: Optional hook called as ``observer(qubit, start_ns, p_one)``
@@ -95,20 +131,75 @@ class QuantumPlant:
         self.measure_observer = None
 
     # ------------------------------------------------------------------
+    # Backend selection
+    # ------------------------------------------------------------------
+    def _make_backend(self, kind: str) -> PlantBackend:
+        if kind == "stabilizer" and kind not in self.BACKENDS:
+            # Lazy registration: importing the module adds the entry.
+            from repro.quantum import stabilizer  # noqa: F401
+        try:
+            factory = self.BACKENDS[kind]
+        except KeyError:
+            known = ", ".join(sorted(self.BACKENDS))
+            raise PlantError(
+                f"unknown plant backend {kind!r}; known backends: {known}")
+        return factory(self.num_qubits)
+
+    @property
+    def backend(self) -> PlantBackend:
+        """The live state backend (constructed on first access)."""
+        if self._backend is None:
+            self._backend = self._make_backend(self._backend_kind)
+        return self._backend
+
+    @property
+    def backend_kind(self) -> str:
+        """The selected backend kind ("dense" / "stabilizer")."""
+        return self._backend_kind
+
+    def use_backend(self, kind: str) -> None:
+        """Select the state backend for subsequent shots.
+
+        Swapping kinds rebuilds the state in ``|0...0>``; reselecting
+        the current kind keeps the live backend (state included).
+        Callers switch only at shot boundaries —
+        :meth:`repro.uarch.machine.QuMAv2.run_iter` does so before the
+        first shot of every run.
+        """
+        if kind != self._backend_kind or self._backend is None:
+            self._backend = self._make_backend(kind)
+            self._backend_kind = kind
+
+    @property
+    def state(self) -> DensityMatrix:
+        """The dense backend's density matrix (back-compat accessor).
+
+        Raises when another backend owns the state — use
+        :attr:`backend` for backend-agnostic access.
+        """
+        backend = self.backend
+        if isinstance(backend, DenseBackend):
+            return backend.state
+        raise PlantError(
+            f"the {backend.kind} backend does not expose a density "
+            f"matrix; read plant.backend instead")
+
+    # ------------------------------------------------------------------
     # Shot lifecycle
     # ------------------------------------------------------------------
     def reset_shot(self) -> None:
         """Return every qubit to |0> at time zero (start of a new shot)."""
-        self.state = DensityMatrix(self.num_qubits)
+        self.backend.reset()
         self._qubit_free_at = {address: 0.0
                                for address in self.topology.qubits}
         self.operations_log = []
 
     def snapshot(self) -> PlantSnapshot:
         """Capture the current state, busy times and operation log."""
-        return PlantSnapshot(state=self.state.copy(),
+        return PlantSnapshot(state=self.backend.snapshot(),
                              qubit_free_at=dict(self._qubit_free_at),
-                             operations_log=tuple(self.operations_log))
+                             operations_log=tuple(self.operations_log),
+                             backend_kind=self._backend_kind)
 
     def restore(self, snapshot: PlantSnapshot) -> None:
         """Return the plant to a previously captured snapshot.
@@ -117,7 +208,11 @@ class QuantumPlant:
         both capture and restore, so one snapshot can seed arbitrarily
         many replayed shots.
         """
-        self.state = snapshot.state.copy()
+        if snapshot.backend_kind != self._backend_kind:
+            raise PlantError(
+                f"snapshot was captured on the {snapshot.backend_kind} "
+                f"backend; the plant now runs {self._backend_kind}")
+        self.backend.restore(snapshot.state)
         self._qubit_free_at = dict(snapshot.qubit_free_at)
         self.operations_log = list(snapshot.operations_log)
 
@@ -141,8 +236,8 @@ class QuantumPlant:
                 f"overlaps previous operation ending at {free_at} ns")
         idle = max(to_time_ns - free_at, 0.0)
         if idle > 0:
-            kraus = self.noise.decoherence.idle_channel(idle)
-            self.state.apply_channel(kraus, (self.qubit_index(address),))
+            self.backend.apply_idle(self.qubit_index(address), idle,
+                                    self.noise.decoherence)
 
     def idle_all_until(self, time_ns: float) -> None:
         """Idle every qubit up to ``time_ns`` (end-of-program flush)."""
@@ -169,10 +264,11 @@ class QuantumPlant:
         for address in qubits:
             self._advance_qubit(address, start_ns)
         indices = tuple(self.qubit_index(address) for address in qubits)
-        self.state.apply_gate(np.asarray(unitary, dtype=complex), indices)
+        backend = self.backend
+        backend.apply_gate(name, unitary, indices)
         if apply_gate_error:
-            channel = self.noise.gate_error.channel_for(len(qubits))
-            self.state.apply_channel(channel, indices)
+            backend.apply_gate_error(indices, self.noise.gate_error,
+                                     self.rng)
         for address in qubits:
             self._qubit_free_at[address] = start_ns + duration_ns
         self.operations_log.append(
@@ -195,13 +291,14 @@ class QuantumPlant:
         """
         self._advance_qubit(qubit, start_ns)
         index = self.qubit_index(qubit)
+        backend = self.backend
         if self.measure_observer is not None:
             self.measure_observer(qubit, start_ns,
-                                  self.state.probability_one(index))
+                                  backend.probability_one(index))
         if forced is None:
-            result = self.state.measure(index, self.rng)
+            result = backend.measure(index, self.rng)
         else:
-            self.state.collapse(index, forced)
+            backend.collapse(index, forced)
             result = forced
         self._qubit_free_at[qubit] = start_ns + duration_ns
         self.operations_log.append(
@@ -214,11 +311,11 @@ class QuantumPlant:
     # ------------------------------------------------------------------
     def probability_one(self, qubit: int) -> float:
         """Ideal P(1) of a physical qubit in the current state."""
-        return self.state.probability_one(self.qubit_index(qubit))
+        return self.backend.probability_one(self.qubit_index(qubit))
 
     def density_matrix(self) -> DensityMatrix:
-        """Copy of the current joint state."""
-        return self.state.copy()
+        """Copy of the current joint state (dense backend only)."""
+        return self.backend.density_matrix()
 
     def qubit_free_at(self, qubit: int) -> float:
         """Time at which the qubit's last operation completes."""

@@ -51,6 +51,59 @@ def surface7() -> QuantumChipTopology:
     )
 
 
+#: Surface-17 layout: 3x3 data-qubit grid (addresses 0..8, row-major)
+#: plus eight ancillas (9..16), one per stabilizer of the rotated
+#: distance-3 surface code.  Z ancillas first, X ancillas second; the
+#: weight-4 plaquettes sit in the bulk, the weight-2 checks on the
+#: boundary (Versluis et al., "Scalable quantum circuit and control
+#: for a superconducting surface code" — the chip the CC-Light eQASM
+#: instantiation targets next).
+SURFACE17_DATA_QUBITS = (0, 1, 2, 3, 4, 5, 6, 7, 8)
+SURFACE17_Z_CHECKS = {
+    9: (0, 1, 3, 4),    # Z plaquette, upper-left bulk
+    10: (4, 5, 7, 8),   # Z plaquette, lower-right bulk
+    11: (2, 5),         # Z boundary, right edge
+    12: (3, 6),         # Z boundary, left edge
+}
+SURFACE17_X_CHECKS = {
+    13: (1, 2, 4, 5),   # X plaquette, upper-right bulk
+    14: (3, 4, 6, 7),   # X plaquette, lower-left bulk
+    15: (0, 1),         # X boundary, top edge
+    16: (7, 8),         # X boundary, bottom edge
+}
+
+
+def surface17() -> QuantumChipTopology:
+    """The 17-qubit distance-3 surface-code chip.
+
+    Each ancilla couples to its stabilizer's data qubits (24 couplings
+    in total).  Mirroring :func:`surface7`'s addressing, every coupling
+    contributes two directed allowed pairs — ancilla-as-source at
+    address ``i``, the reverse at ``i + 24`` — for a 48-bit pair mask,
+    which is why this chip needs the 64-bit eQASM instantiation
+    (:func:`repro.core.isa.seventeen_qubit_instantiation`).  Readout is
+    frequency-multiplexed over three feedlines, as on the real device.
+    """
+    forward: list[tuple[int, int]] = []
+    for checks in (SURFACE17_Z_CHECKS, SURFACE17_X_CHECKS):
+        for ancilla, data in checks.items():
+            forward.extend((ancilla, qubit) for qubit in data)
+    pairs = []
+    for address, (source, target) in enumerate(forward):
+        pairs.append(QubitPair(address=address, source=source,
+                               target=target))
+        pairs.append(QubitPair(address=address + len(forward),
+                               source=target, target=source))
+    return QuantumChipTopology(
+        name="surface-17",
+        qubits=tuple(range(17)),
+        pairs=tuple(pairs),
+        feedlines={0: (0, 1, 2, 9, 11, 13, 15),
+                   1: (3, 4, 5, 10, 12, 14),
+                   2: (6, 7, 8, 16)},
+    )
+
+
 def two_qubit_chip() -> QuantumChipTopology:
     """The two-qubit processor used for the experiments in Section 5.
 
@@ -123,6 +176,7 @@ def linear_chain(num_qubits: int) -> QuantumChipTopology:
 
 CHIP_LIBRARY = {
     "surface-7": surface7,
+    "surface-17": surface17,
     "two-qubit": two_qubit_chip,
     "ibm-qx2": ibm_qx2,
     "ion-trap-5": fully_connected_ion_trap,

@@ -79,6 +79,7 @@ from repro.core.registers import (
     to_unsigned32,
 )
 from repro.quantum.plant import QuantumPlant
+from repro.quantum.stabilizer import cached_clifford_action
 from repro.uarch.config import UarchConfig
 from repro.uarch.devices import (
     DeviceEventDistributor,
@@ -109,6 +110,11 @@ from repro.uarch.trace import (
 
 #: Bound on retained cross-run timeline trees (LRU eviction).
 _TREE_CACHE_CAPACITY = 16
+
+#: Bound on retained dataflow analyses (LRU keyed by binary words), so
+#: sweeps that reload many distinct binaries into one machine stop
+#: recomputing the exploded graph per load().
+_DATAFLOW_CACHE_CAPACITY = 64
 
 
 #: Events at equal timestamps resolve by priority: measurement results
@@ -146,7 +152,8 @@ class QuMAv2:
     """
 
     def __init__(self, isa: EQASMInstantiation, plant: QuantumPlant,
-                 config: UarchConfig | None = None):
+                 config: UarchConfig | None = None,
+                 plant_backend: str = "auto"):
         self.isa = isa
         self.plant = plant
         self.config = config or UarchConfig()
@@ -169,6 +176,14 @@ class QuMAv2:
         self.last_run_engine: str | None = None
         #: Why the last run() could not use replay (None when it did).
         self.replay_fallback_reason: str | None = None
+        #: Plant-backend policy: "auto" (static Clifford/noise pass per
+        #: run — the default), or "dense"/"stabilizer" to pin a backend.
+        self.plant_backend_policy = plant_backend
+        #: Which plant backend the last run() selected
+        #: ("stabilizer" | "dense"), mirroring :attr:`last_run_engine`.
+        self.last_plant_backend: str | None = None
+        #: Why the last run() kept the dense backend (None on tableau).
+        self.plant_backend_reason: str | None = None
         #: Per-run engine statistics (shots per engine, segment-cache
         #: hits/misses, fallback reasons); replaced by each run_iter().
         self.engine_stats = EngineStats()
@@ -179,8 +194,14 @@ class QuMAv2:
         #: invalidates a reused tree when either is swapped out.
         self._tree_cache: OrderedDict[tuple, TimelineTree] = OrderedDict()
         self._binary_key: tuple[int, ...] = ()
-        # Per-binary static analysis, memoised until the next load().
+        # Per-binary static analyses, memoised in small LRUs keyed by
+        # the binary words (the machine's microcode/operation set is
+        # fixed, so the words fully determine both results) — sweeps
+        # that reload many distinct binaries skip recomputation.
         self._data_memory_report: DataMemoryReport | None = None
+        self._dataflow_cache: OrderedDict[tuple, DataMemoryReport] = \
+            OrderedDict()
+        self._plant_backend_reasons: list[str] | None = None
         self._reset_shot_state()
 
     # ------------------------------------------------------------------
@@ -189,9 +210,11 @@ class QuMAv2:
     def load(self, program: AssembledProgram | list[int]) -> None:
         """Load a binary into the instruction memory.
 
-        Accepts either an :class:`AssembledProgram` or raw 32-bit words;
-        words are decoded through the instantiation's decoder, so the
-        machine genuinely runs the binary encoding.
+        Accepts either an :class:`AssembledProgram` or raw instruction
+        words (of the instantiation's ``instruction_width`` — 32-bit
+        for the paper's chips, 64-bit for surface-17); words are
+        decoded through the instantiation's decoder, so the machine
+        genuinely runs the binary encoding.
         """
         if isinstance(program, AssembledProgram):
             words = program.words
@@ -200,7 +223,11 @@ class QuMAv2:
         decoder = InstructionDecoder(self.isa)
         self._instructions = [decoder.decode(word) for word in words]
         self._binary_key = tuple(words)
-        self._data_memory_report = None
+        self._data_memory_report = self._dataflow_cache.get(
+            self._binary_key)
+        if self._data_memory_report is not None:
+            self._dataflow_cache.move_to_end(self._binary_key)
+        self._plant_backend_reasons = None
 
     # ------------------------------------------------------------------
     # Shot state
@@ -310,7 +337,19 @@ class QuMAv2:
         if shots <= 0:
             self.last_run_engine = None
             self.replay_fallback_reason = None
+            self.last_plant_backend = None
+            self.plant_backend_reason = None
             return
+        # Plant-backend selection comes first: both engines execute
+        # their (growth) shots against whichever backend is live, and
+        # the replay blocker analysis below depends on the choice
+        # (trajectory-sampled Pauli noise only exists on the tableau).
+        backend_kind, backend_reason = self._select_plant_backend()
+        self.plant.use_backend(backend_kind)
+        self.last_plant_backend = backend_kind
+        self.plant_backend_reason = backend_reason
+        stats.plant_backend = backend_kind
+        stats.plant_backend_reason = backend_reason
         reasons = (["replay disabled by caller"] if not use_replay
                    else self.replay_unsupported_reasons())
         if reasons:
@@ -375,16 +414,25 @@ class QuMAv2:
 
     def data_memory_report(self) -> DataMemoryReport:
         """The dataflow pass's verdict on the loaded binary's ``LD``/
-        ``ST`` traffic (memoised until the next :meth:`load`) — see
+        ``ST`` traffic — see
         :func:`repro.uarch.dataflow.analyze_data_memory`.  The machine
         supplies the per-instruction measurement-slot table, so the
         report's ``max_measurements_per_shot`` is exact for loop-free
-        *and* counted-loop binaries."""
+        *and* counted-loop binaries.  Reports are retained in a small
+        LRU keyed by the binary words (which, with the machine's fixed
+        operation set, fully determine the analysis), so sweeps that
+        re-:meth:`load` many distinct binaries — or alternate between a
+        few — never recompute the exploded graph for a binary this
+        machine has already analysed."""
         if self._data_memory_report is None:
             slots = [self._measurement_slot_count(instruction)
                      for instruction in self._instructions]
             self._data_memory_report = analyze_data_memory(
                 self._instructions, measurement_slots=slots)
+            self._dataflow_cache[self._binary_key] = \
+                self._data_memory_report
+            while len(self._dataflow_cache) > _DATAFLOW_CACHE_CAPACITY:
+                self._dataflow_cache.popitem(last=False)
         return self._data_memory_report
 
     def _measurement_slot_count(self, instruction: Instruction) -> int:
@@ -422,6 +470,81 @@ class QuMAv2:
             return max_depth
         return min(max_depth, bound)
 
+    def plant_backend_reasons(self) -> list[str]:
+        """Every reason the loaded binary + noise model cannot run on
+        the stabilizer-tableau plant backend (empty when they can).
+
+        The static pass mirrors :meth:`replay_unsupported_reasons`: the
+        tableau is sound exactly when (a) every gate micro-operation the
+        binary can trigger resolves to a Clifford unitary
+        (:func:`repro.quantum.stabilizer.cached_clifford_action` derives
+        the symplectic action from the configured matrix, so any
+        user-registered Clifford pulse qualifies) and (b) the noise
+        model is Pauli/readout-only (idle T1/T2 decoherence is not a
+        Pauli channel).  The binary-derived verdict is memoised until
+        the next :meth:`load`; the noise verdict is re-read per call so
+        a swapped ``plant.noise`` is honoured immediately.
+        """
+        if self._plant_backend_reasons is None:
+            reasons: list[str] = []
+            if not self._instructions:
+                reasons.append("no program loaded")
+            checked: set[str] = set()
+            for instruction in self._instructions:
+                if not isinstance(instruction, Bundle):
+                    continue
+                for slot in instruction.operations:
+                    if slot.name in checked:
+                        continue
+                    checked.add(slot.name)
+                    try:
+                        micro_ops = self.microcode.translate_name(
+                            slot.name)
+                    except Exception:
+                        reasons.append(
+                            f"operation {slot.name!r} is not translatable")
+                        continue
+                    for micro_op in micro_ops:
+                        if micro_op.is_measurement:
+                            continue
+                        operation = self.isa.operations.get(
+                            micro_op.operation)
+                        if operation.unitary is None:
+                            continue
+                        if cached_clifford_action(
+                                operation.unitary) is None:
+                            reasons.append(
+                                f"operation {micro_op.operation!r} is "
+                                f"not Clifford")
+                            break
+            self._plant_backend_reasons = reasons
+        reasons = list(self._plant_backend_reasons)
+        if not self.plant.noise.is_pauli_plus_readout:
+            reasons.append(
+                "noise model has non-Pauli idle decoherence (T1/T2)")
+        return reasons
+
+    def _select_plant_backend(self) -> tuple[str, str | None]:
+        """Resolve the policy to a backend kind plus the dense reason.
+
+        "auto" picks the tableau whenever the static pass admits it;
+        pinning a backend skips the pass (a pinned tableau on a
+        non-Clifford program fails at the offending gate, by design).
+        """
+        policy = self.plant_backend_policy
+        if policy == "dense":
+            return "dense", "plant backend pinned to dense by caller"
+        if policy == "stabilizer":
+            return "stabilizer", None
+        if policy != "auto":
+            raise RuntimeFault(
+                f"unknown plant backend policy {policy!r} "
+                f"(use 'auto', 'dense' or 'stabilizer')")
+        reasons = self.plant_backend_reasons()
+        if reasons:
+            return "dense", "; ".join(reasons)
+        return "stabilizer", None
+
     def _replay_tree(self, cacheable: bool) -> tuple[TimelineTree, bool]:
         """The timeline tree for the loaded binary: reused from the
         keyed cross-run cache when the (binary, noise, config) key
@@ -439,7 +562,8 @@ class QuMAv2:
         """
         if not cacheable:
             return TimelineTree(self.plant), False
-        key = (self._binary_key, self.plant.noise, self.config)
+        key = (self._binary_key, self.plant.noise, self.config,
+               self.plant.backend_kind)
         tree = self._tree_cache.get(key)
         if tree is not None:
             self._tree_cache.move_to_end(key)
@@ -527,11 +651,26 @@ class QuMAv2:
     def replay_unsupported_reasons(self) -> list[str]:
         """Every reason the loaded program cannot use shot replay
         (empty if it can) — the static hard-blocker analysis of
-        :func:`repro.uarch.replay.replay_unsupported_reasons`."""
-        return replay_unsupported_reasons(
+        :func:`repro.uarch.replay.replay_unsupported_reasons`, plus one
+        machine-level blocker: when the selected plant backend is the
+        stabilizer tableau *and* the noise model carries stochastic
+        Pauli gate error, each shot samples a fresh Pauli trajectory —
+        state the outcome-keyed tree cannot key on — so such runs stay
+        on the interpreter (which the tableau still accelerates).  With
+        zero gate error the tableau is deterministic given the outcome
+        history and both fast paths compound."""
+        reasons = replay_unsupported_reasons(
             self._instructions, self.microcode, self.measurement_unit,
             self.isa.topology.qubits,
             data_memory_report=self.data_memory_report())
+        kind, _ = self._select_plant_backend()
+        if kind == "stabilizer" and \
+                not self.plant.noise.gate_error.is_zero:
+            reasons.append(
+                "stochastic Pauli gate noise on the stabilizer backend "
+                "(per-shot trajectory sampling outside the outcome "
+                "history)")
+        return reasons
 
     def replay_unsupported_reason(self) -> str | None:
         """All blocking reasons joined with "; ", or None when the

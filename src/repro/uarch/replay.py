@@ -147,6 +147,16 @@ class EngineStats:
     #: All hard-blocker reasons ("; "-joined) when ``engine`` is
     #: "interpreter"; None on the replay path.
     fallback_reason: str | None = None
+    #: Which plant backend held the quantum state for this run:
+    #: "stabilizer" (Gottesman–Knill tableau — Clifford binary plus
+    #: Pauli/readout-only noise) or "dense" (exact density matrix, the
+    #: fallback for everything else).  Selection is reported just like
+    #: engine selection; see
+    #: :meth:`repro.uarch.machine.QuMAv2.plant_backend_reasons`.
+    plant_backend: str | None = None
+    #: All reasons the stabilizer backend was not selected ("; "-joined)
+    #: when ``plant_backend`` is "dense"; None on the tableau path.
+    plant_backend_reason: str | None = None
     shots_total: int = 0
     #: Shots that ran through the full interpreter (probe/growth shots
     #: on the replay path count here too).

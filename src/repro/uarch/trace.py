@@ -72,10 +72,18 @@ class ShotTrace:
 
         The replay engines build each replayed shot from a captured
         template: the timing-domain records (triggers, slips, classical
-        time, instruction count) are *shared* — frozen dataclasses,
-        bit-identical by construction — while the k-th result record is
-        rebuilt around the k-th sampled ``(raw, reported)`` pair,
-        keeping the template's timing metadata.
+        time, instruction count) are *shared copy-on-write* — the
+        returned trace references the template's own ``triggers`` and
+        ``slips`` lists, because only the k-th result record differs
+        (rebuilt around the k-th sampled ``(raw, reported)`` pair,
+        keeping the template's timing metadata).  The sharing is what
+        keeps wide-plant replay off the old splice-bound path: a
+        seven-qubit surface-code shot carries hundreds of trigger
+        records, and copying them per replayed shot dominated the
+        run.  Templates are frozen once captured (the machine binds a
+        fresh trace per interpreter shot), so the aliasing is safe;
+        treat replayed traces as read-only — mutating their shared
+        lists would corrupt every sibling shot of the same path.
         """
         results = [
             ResultRecord(qubit=record.qubit, raw_result=raw,
@@ -85,9 +93,9 @@ class ShotTrace:
             for record, (raw, reported)
             in zip(self.results, outcomes, strict=True)]
         return ShotTrace(
-            triggers=list(self.triggers),
+            triggers=self.triggers,
             results=results,
-            slips=list(self.slips),
+            slips=self.slips,
             instructions_executed=self.instructions_executed,
             classical_time_ns=self.classical_time_ns,
             stop_reached=self.stop_reached)

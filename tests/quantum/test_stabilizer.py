@@ -1,0 +1,232 @@
+"""Stabilizer-tableau backend unit tests.
+
+The tableau must agree *exactly* with the dense density-matrix
+simulator on every Clifford circuit: same pre-collapse probabilities
+after every gate, same post-collapse states along every forced outcome
+path.  The Clifford-action derivation must classify every configured
+gate correctly, and the backend must refuse what it cannot represent
+(non-Clifford gates, non-Pauli idle decoherence).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import PlantError
+from repro.quantum import gates
+from repro.quantum.density_matrix import DensityMatrix
+from repro.quantum.noise import (
+    DecoherenceModel,
+    GateErrorModel,
+    NoiseModel,
+)
+from repro.quantum.stabilizer import (
+    StabilizerBackend,
+    StabilizerTableau,
+    cached_clifford_action,
+    clifford_action_of,
+    is_clifford,
+)
+
+CLIFFORD_1Q = ["I", "X", "Y", "Z", "H", "S", "SDG",
+               "X90", "XM90", "Y90", "YM90"]
+CLIFFORD_2Q = ["CZ", "CNOT", "SWAP"]
+
+
+class TestCliffordDetection:
+    def test_standard_cliffords_detected(self):
+        for name in CLIFFORD_1Q + CLIFFORD_2Q:
+            assert is_clifford(gates.STANDARD_GATES[name]), name
+
+    def test_non_cliffords_rejected(self):
+        assert not is_clifford(gates.T)
+        assert not is_clifford(gates.TDG)
+        assert not is_clifford(gates.rx(0.3))
+        assert not is_clifford(gates.ry(1.0))
+
+    def test_action_phase_invariant(self):
+        """A global phase must not change the derived action."""
+        plain = clifford_action_of(gates.H)
+        phased = clifford_action_of(np.exp(1j * 0.7) * gates.H)
+        assert np.array_equal(plain.bits, phased.bits)
+        assert np.array_equal(plain.sign, phased.sign)
+
+    def test_cache_returns_same_object(self):
+        assert cached_clifford_action(gates.CZ) is \
+            cached_clifford_action(gates.CZ)
+
+
+class TestTableauVsDense:
+    """Differential ground truth: the exact density matrix."""
+
+    def test_random_clifford_circuits_match_dense(self):
+        rng = np.random.default_rng(7)
+        for trial in range(30):
+            n = int(rng.integers(1, 5))
+            tableau = StabilizerTableau(n)
+            dense = DensityMatrix(n)
+            for _ in range(12):
+                if n >= 2 and rng.random() < 0.35:
+                    name = rng.choice(CLIFFORD_2Q)
+                    a, b = (int(q) for q in
+                            rng.choice(n, size=2, replace=False))
+                    targets = (a, b)
+                else:
+                    name = rng.choice(CLIFFORD_1Q)
+                    targets = (int(rng.integers(0, n)),)
+                unitary = gates.STANDARD_GATES[name]
+                tableau.apply(cached_clifford_action(unitary), targets)
+                dense.apply_gate(unitary, targets)
+                for qubit in range(n):
+                    assert tableau.probability_one(qubit) == \
+                        pytest.approx(dense.probability_one(qubit),
+                                      abs=1e-9)
+
+    def test_collapse_paths_match_dense(self):
+        """Forcing the same outcomes must keep both simulators equal."""
+        rng = np.random.default_rng(11)
+        for trial in range(10):
+            n = 3
+            tableau = StabilizerTableau(n)
+            dense = DensityMatrix(n)
+            for qubit in range(n):
+                tableau.apply(cached_clifford_action(gates.H), (qubit,))
+                dense.apply_gate(gates.H, (qubit,))
+            tableau.apply(cached_clifford_action(gates.CZ), (0, 1))
+            dense.apply_gate(gates.CZ, (0, 1))
+            for qubit in range(n):
+                outcome = int(rng.integers(0, 2))
+                dense.collapse(qubit, outcome)
+                tableau.collapse(qubit, outcome)
+                for probe in range(n):
+                    assert tableau.probability_one(probe) == \
+                        pytest.approx(dense.probability_one(probe),
+                                      abs=1e-9)
+
+    def test_bell_pair_correlations(self):
+        tableau = StabilizerTableau(2)
+        tableau.apply(cached_clifford_action(gates.H), (0,))
+        tableau.apply(cached_clifford_action(gates.CNOT), (0, 1))
+        assert tableau.probability_one(0) == 0.5
+        tableau.collapse(0, 1)
+        assert tableau.probability_one(1) == 1.0   # perfectly correlated
+
+
+class TestTableauMeasurement:
+    def test_deterministic_outcomes(self):
+        tableau = StabilizerTableau(2)
+        assert tableau.probability_one(0) == 0.0
+        tableau.apply(cached_clifford_action(gates.X), (0,))
+        assert tableau.probability_one(0) == 1.0
+        assert tableau.probability_one(1) == 0.0
+
+    def test_impossible_collapse_raises(self):
+        tableau = StabilizerTableau(1)
+        tableau.apply(cached_clifford_action(gates.X), (0,))
+        with pytest.raises(PlantError, match="probability 0"):
+            tableau.collapse(0, 0)
+
+    def test_measure_statistics(self):
+        rng = np.random.default_rng(3)
+        ones = 0
+        for _ in range(400):
+            tableau = StabilizerTableau(1)
+            tableau.apply(cached_clifford_action(gates.H), (0,))
+            ones += tableau.measure(0, rng)
+        assert 140 < ones < 260   # ~N(200, 10)
+
+    def test_measurement_collapses(self):
+        rng = np.random.default_rng(5)
+        tableau = StabilizerTableau(1)
+        tableau.apply(cached_clifford_action(gates.H), (0,))
+        first = tableau.measure(0, rng)
+        assert tableau.probability_one(0) == float(first)
+        assert tableau.measure(0, rng) == first
+
+    def test_stabilizer_strings(self):
+        tableau = StabilizerTableau(2)
+        assert tableau.stabilizer_strings() == ["+ZI", "+IZ"]
+        tableau.apply(cached_clifford_action(gates.H), (0,))
+        tableau.apply(cached_clifford_action(gates.CNOT), (0, 1))
+        assert set(tableau.stabilizer_strings()) == {"+XX", "+ZZ"}
+
+
+class TestPauliInjection:
+    def test_x_error_flips_outcome(self):
+        tableau = StabilizerTableau(2)
+        tableau.apply_pauli(0b01, (1,))   # X on qubit 1
+        assert tableau.probability_one(1) == 1.0
+        assert tableau.probability_one(0) == 0.0
+
+    def test_z_error_invisible_on_basis_state(self):
+        tableau = StabilizerTableau(1)
+        tableau.apply_pauli(0b10, (0,))   # Z on |0> is a no-op
+        assert tableau.probability_one(0) == 0.0
+
+    def test_two_qubit_pauli(self):
+        tableau = StabilizerTableau(2)
+        tableau.apply_pauli(0b0101, (0, 1))   # X on both
+        assert tableau.probability_one(0) == 1.0
+        assert tableau.probability_one(1) == 1.0
+
+
+class TestStabilizerBackend:
+    def test_snapshot_restore_roundtrip(self):
+        backend = StabilizerBackend(2)
+        backend.apply_gate("H", gates.H, (0,))
+        snapshot = backend.snapshot()
+        backend.apply_gate("X", gates.X, (1,))
+        assert backend.probability_one(1) == 1.0
+        backend.restore(snapshot)
+        assert backend.probability_one(1) == 0.0
+        assert backend.probability_one(0) == 0.5
+        # The snapshot is never aliased: restoring twice works.
+        backend.apply_gate("X", gates.X, (1,))
+        backend.restore(snapshot)
+        assert backend.probability_one(1) == 0.0
+
+    def test_reset(self):
+        backend = StabilizerBackend(3)
+        backend.apply_gate("X", gates.X, (2,))
+        backend.reset()
+        for qubit in range(3):
+            assert backend.probability_one(qubit) == 0.0
+
+    def test_non_clifford_gate_raises(self):
+        backend = StabilizerBackend(1)
+        with pytest.raises(PlantError, match="not Clifford"):
+            backend.apply_gate("T", gates.T, (0,))
+
+    def test_idle_refused_unless_negligible(self):
+        backend = StabilizerBackend(1)
+        noiseless = NoiseModel.noiseless()
+        backend.apply_idle(0, 500.0, noiseless.decoherence)  # no-op
+        with pytest.raises(PlantError, match="not a Pauli channel"):
+            backend.apply_idle(0, 500.0, DecoherenceModel())
+
+    def test_gate_error_sampling_statistics(self):
+        """p=1 depolarizing on |0>: X or Y flip (2 of 3 Paulis) ->
+        P(1) = 2/3 over trials; the Z third leaves |0> alone."""
+        rng = np.random.default_rng(17)
+        error = GateErrorModel(single_qubit_error=1.0,
+                               two_qubit_error=0.07)
+        flips = 0
+        trials = 600
+        for _ in range(trials):
+            backend = StabilizerBackend(1)
+            backend.apply_gate_error((0,), error, rng)
+            flips += backend.probability_one(0) == 1.0
+        assert 0.58 < flips / trials < 0.75
+
+    def test_zero_gate_error_is_noop(self):
+        backend = StabilizerBackend(1)
+        error = GateErrorModel(single_qubit_error=0.0,
+                               two_qubit_error=0.0)
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            backend.apply_gate_error((0,), error, rng)
+        assert backend.probability_one(0) == 0.0
+
+    def test_density_matrix_not_exposed(self):
+        backend = StabilizerBackend(2)
+        with pytest.raises(PlantError, match="density matrix"):
+            backend.density_matrix()

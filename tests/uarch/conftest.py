@@ -13,17 +13,23 @@ def pytest_terminal_summary(terminalreporter, exitstatus, config):
     # Look the fuzz module up however pytest imported it (rootdir
     # top-level name or namespace-package path) — importing it here
     # would create a second instance with an empty counter.
-    mix = None
+    fuzz_module = None
     for name, module in list(sys.modules.items()):
         if name.rpartition(".")[2] == "test_differential_fuzz":
-            candidate = getattr(module, "ENGINE_MIX", None)
-            if candidate:
-                mix = candidate
+            if getattr(module, "ENGINE_MIX", None):
+                fuzz_module = module
                 break
-    if not mix:
+    if fuzz_module is None:
         return
+    mix = fuzz_module.ENGINE_MIX
     total = sum(mix.values())
     parts = ", ".join(f"{name}: {count}"
                       for name, count in sorted(mix.items()))
     terminalreporter.write_line(
         f"differential-fuzz engine mix over {total} cases — {parts}")
+    backends = getattr(fuzz_module, "BACKEND_MIX", None)
+    if backends:
+        parts = ", ".join(f"{name}: {count}"
+                          for name, count in sorted(backends.items()))
+        terminalreporter.write_line(
+            f"differential-fuzz plant-backend mix — {parts}")

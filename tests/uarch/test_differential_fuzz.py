@@ -38,6 +38,7 @@ import pytest
 from repro.core import Assembler, two_qubit_instantiation
 from repro.core.errors import TimingViolationError
 from repro.quantum import NoiseModel, QuantumPlant
+from repro.quantum.noise import DecoherenceModel, GateErrorModel
 from repro.uarch import QuMAv2
 
 DEFAULT_SEED_COUNT = 25
@@ -51,9 +52,31 @@ CONDITIONAL_GATES = ["C_X", "C_Y", "C0_X"]
 #: printed by the conftest terminal summary (nightly log visibility).
 ENGINE_MIX: Counter = Counter()
 
+#: Plant-backend selection aggregate (same reporting path): the
+#: ``clifford_only`` shape must land on the stabilizer tableau, every
+#: other case on the dense matrix, identically on both engines.
+BACKEND_MIX: Counter = Counter()
 
-def generate_case(seed: int) -> tuple[str, list[int]]:
-    """One random well-formed program + its mock-injection plan.
+
+def clifford_only_noise() -> NoiseModel:
+    """Readout flips only.  Every generated gate is already Clifford,
+    so this noise model is what flips a case onto the stabilizer
+    backend — exercising tableau growth shots, tableau snapshots and
+    the backend-selection agreement between the engines."""
+    return NoiseModel(
+        decoherence=DecoherenceModel(t1_ns=1e15, t2_ns=1e15),
+        gate_error=GateErrorModel(single_qubit_error=0.0,
+                                  two_qubit_error=0.0))
+
+
+def generate_case(seed: int) -> tuple[str, list[int], bool]:
+    """One random well-formed program + mock plan + backend shape.
+
+    The third element is the ``clifford_only`` shape flag: such cases
+    run under readout-only noise, which (the gate pool being entirely
+    Clifford) moves the whole case onto the stabilizer plant backend —
+    both engines must agree on that selection and stay statistically
+    indistinguishable there too.
 
     Blocks are drawn from: plain gates, fixed and register-valued
     waits, measurement + fast-conditional micro-op, measurement + FMR
@@ -69,6 +92,7 @@ def generate_case(seed: int) -> tuple[str, list[int]]:
     shot budget.
     """
     rng = np.random.default_rng(seed)
+    clifford_only = bool(rng.random() < 0.3)
     lines = ["SMIS S0, {0}", "SMIS S2, {2}", "LDI R0, 1", "QWAIT 10000"]
     kinds = list(rng.choice(
         ["gate", "qwait", "fce", "cfc", "dead_store", "spill_reload",
@@ -144,18 +168,20 @@ def generate_case(seed: int) -> tuple[str, list[int]]:
         else:
             length = measurements * SHOTS       # covers the whole run
         mock_plan = [int(bit) for bit in rng.integers(0, 2, size=length)]
-    return "\n".join(lines), mock_plan
+    return "\n".join(lines), mock_plan, clifford_only
 
 
 def run_engine(text: str, mock_plan: list[int], seed: int,
-               use_replay: bool):
+               use_replay: bool, noise: NoiseModel | None = None):
     """Run one program on one engine; returns (machine, traces|None).
 
     ``traces`` is None when the run raised a timing violation — the
     differential property is then that *both* engines raise it.
     """
     isa = two_qubit_instantiation()
-    plant = QuantumPlant(isa.topology, noise=NoiseModel(),
+    plant = QuantumPlant(isa.topology,
+                         noise=noise if noise is not None
+                         else NoiseModel(),
                          rng=np.random.default_rng(seed))
     machine = QuMAv2(isa, plant)
     if mock_plan:
@@ -215,13 +241,16 @@ def assert_distributions_agree(interp_hist, replay_hist):
 
 @pytest.mark.parametrize("seed", range(SEED_COUNT))
 def test_interpreter_and_replay_are_equivalent(seed):
-    text, mock_plan = generate_case(seed)
+    text, mock_plan, clifford_only = generate_case(seed)
+    noise = clifford_only_noise() if clifford_only else NoiseModel()
     interpreter, interp_traces = run_engine(text, mock_plan,
                                             seed=10_000 + seed,
-                                            use_replay=False)
+                                            use_replay=False,
+                                            noise=noise)
     replay, replay_traces = run_engine(text, mock_plan,
                                        seed=20_000 + seed,
-                                       use_replay=True)
+                                       use_replay=True,
+                                       noise=noise)
 
     # Engine agreement on timing violations.
     assert (interp_traces is None) == (replay_traces is None), \
@@ -229,6 +258,14 @@ def test_interpreter_and_replay_are_equivalent(seed):
     if interp_traces is None:
         ENGINE_MIX["timing-violation"] += 1
         return
+
+    # Plant-backend selection must agree across engines and match the
+    # generated shape: the clifford_only cases (Clifford gate pool,
+    # readout-only noise) ride the stabilizer tableau on both.
+    expected_backend = "stabilizer" if clifford_only else "dense"
+    assert interpreter.last_plant_backend == expected_backend
+    assert replay.last_plant_backend == expected_backend
+    BACKEND_MIX[expected_backend] += 1
 
     assert interpreter.last_run_engine == "interpreter"
     reasons = replay.replay_unsupported_reasons()

@@ -140,13 +140,19 @@ class TestReplayEquivalence:
                 interp_counts.excited_fraction(qubit), abs=0.06)
 
     def test_somq_slip_program_replays_with_identical_slips(self):
+        # The density-matrix comparison below needs the dense backend
+        # pinned: a noiseless Clifford program would otherwise
+        # auto-select the stabilizer tableau on both machines.
         isa = seven_qubit_instantiation()
         interpreter = make_machine(isa=isa, config=slip_config())
+        interpreter.plant_backend_policy = "dense"
         load(interpreter, SOMQ_DENSE)
         interp_trace = interpreter.run(3, use_replay=False)[0]
         assert interp_trace.slips  # the stress program must slip
+        assert interpreter.last_plant_backend == "dense"
 
         replay = make_machine(isa=isa, config=slip_config())
+        replay.plant_backend_policy = "dense"
         load(replay, SOMQ_DENSE)
         replay_traces = replay.run(3)
         assert replay.last_run_engine == "replay"
