@@ -52,6 +52,11 @@ class CodegenOptions:
     pi_width: int = 3         # wPI, only meaningful for ts3
     somq: bool = True
     vliw_width: int = 2
+    #: Instruction words the classical pipeline issues per quantum
+    #: cycle (quantum_cycle_ns / classical_cycle_ns; 20 ns / 10 ns for
+    #: the paper's instantiations).  Bounds Rallowed for the
+    #: issue-rate feasibility pass.
+    words_per_cycle: int = 2
 
     def __post_init__(self) -> None:
         if self.timing not in ("ts1", "ts2", "ts3"):
@@ -63,6 +68,8 @@ class CodegenOptions:
             raise ConfigurationError("wPI must be in 1..8")
         if self.vliw_width < 1:
             raise ConfigurationError("VLIW width must be positive")
+        if self.words_per_cycle < 1:
+            raise ConfigurationError("words_per_cycle must be positive")
 
     @property
     def max_pi(self) -> int:
@@ -248,6 +255,15 @@ class EQASMCodeGenerator:
                 preamble.append(setup)
             else:
                 inline.setdefault(point_index, []).append(setup)
+        # Pass 1.5: issue-rate feasibility (Rreq <= Rallowed,
+        # Section 3.1).  The machine anchors its deterministic-domain
+        # timer at the first timing point with zero slack, so the last
+        # VLIW word of every later point must issue within the
+        # programmed gap: wide (multi-word) bundles or inline register
+        # rewrites at short gaps would reserve after their trigger was
+        # due.  The paper makes the compiler responsible for this, so
+        # stretch any infeasible gap until the point fits.
+        points = self._stretch_infeasible_gaps(points, inline)
         # Pass 2: emission.
         program = Program()
         program.extend(preamble)
@@ -261,6 +277,55 @@ class EQASMCodeGenerator:
         if emit_stop:
             program.append(Stop())
         return program
+
+    # ------------------------------------------------------------------
+    # Issue-rate feasibility
+    # ------------------------------------------------------------------
+    def _wait_words(self, cycles: int) -> int:
+        """Instruction words :meth:`_emit_wait` needs for a wait."""
+        return max(1, math.ceil(cycles / self.isa.max_qwait))
+
+    def _point_words(self, gap: int, operand_count: int) -> int:
+        """Instruction words one timing point occupies in the binary.
+
+        Mirrors :meth:`_emit_point` plus the assembler's bundle
+        splitting: ``operand_count`` slots pack into
+        ``ceil(count / vliw_width)`` words, preceded by explicit QWAITs
+        whenever the gap does not fit the PI field.
+        """
+        words = max(1, math.ceil(operand_count / self.isa.vliw_width))
+        if (self.options.timing == "ts3" and gap <= self.options.max_pi
+                and gap <= self.isa.max_pi):
+            return words
+        return words + (self._wait_words(gap) if gap else 0)
+
+    def _stretch_infeasible_gaps(self, points, inline):
+        """Delay timing points the classical pipeline cannot feed.
+
+        The reserve of point *k* completes when its last word issues,
+        one classical cycle per word (inline SMIS/SMIT rewrites
+        included); relative to the zero-slack anchor at the first
+        point, feasibility requires the cumulative word count to stay
+        within ``words_per_cycle`` words per programmed cycle.  Slack
+        from generous gaps carries forward (the timing queue buffers
+        points reserved early).
+        """
+        words_per_cycle = self.options.words_per_cycle
+        adjusted: list[tuple[int, list[BundleOperation]]] = []
+        slack = 0
+        for index, (gap, bundle_ops) in enumerate(points):
+            if index == 0:
+                adjusted.append((gap, bundle_ops))
+                continue
+            setup_words = len(inline.get(index, []))
+            cost = setup_words + self._point_words(gap, len(bundle_ops))
+            while slack + gap * words_per_cycle < cost:
+                gap += 1
+                cost = (setup_words +
+                        self._point_words(gap, len(bundle_ops)))
+            slack += gap * words_per_cycle - cost
+            adjusted.append((gap, bundle_ops))
+        return adjusted
 
     # ------------------------------------------------------------------
     # Emission helpers

@@ -73,6 +73,94 @@ class InvalidAddressError(RuntimeFault):
     range was accessed at run time."""
 
 
+class GuardFault(RuntimeFault):
+    """Base for runtime guards: faults detected (rather than suffered)
+    by the hardening layer.
+
+    Every guard fault carries a machine-readable ``context`` mapping so
+    a serving layer can log, aggregate, and act on failures without
+    parsing message strings.
+    """
+
+    def __init__(self, message: str, **context):
+        super().__init__(message)
+        self.context = context
+
+    def __getattr__(self, name: str):
+        # Convenience: expose context keys as attributes
+        # (``error.requested_bytes`` instead of
+        # ``error.context["requested_bytes"]``).
+        try:
+            return self.__dict__["context"][name]
+        except KeyError:
+            raise AttributeError(name) from None
+
+
+class ResourceError(GuardFault):
+    """Admission control refused a request that would exhaust a machine
+    resource (e.g. a dense density matrix past the memory budget).
+
+    Context: ``requested_bytes``, ``limit_bytes``, ``num_qubits``,
+    ``suggestion``.
+    """
+
+
+class ShotTimeoutError(GuardFault):
+    """The per-shot watchdog stopped a runaway shot (instruction-count
+    limit, classical-time budget, or a measurement result that never
+    arrives).
+
+    Context: ``reason`` plus reason-specific fields such as
+    ``instructions_executed``, ``limit``, ``classical_time_ns``,
+    ``budget_ns``, or ``qubit``.
+    """
+
+
+class ReplayDivergenceError(GuardFault):
+    """A replay-audit shadow run disagreed with the cached timeline
+    tree — the cache was invalidated and the run degraded, and callers
+    that asked for strict auditing see this fault.
+
+    Context: ``shot_index``, ``mismatched_fields``, ``tree_evicted``.
+    """
+
+
+class BackendFaultError(GuardFault):
+    """A plant backend failed mid-operation (gate application error,
+    snapshot integrity violation, injected chaos fault).
+
+    Context: ``backend``, ``operation``, ``qubits``, ``site``.
+    """
+
+
+class QueueOverflowError(GuardFault):
+    """A hardware queue exceeded the instantiation's depth — the
+    CC-Light per-instantiation limit the runtime must report rather
+    than break on.
+
+    Context: ``queue``, ``depth``, ``occupancy``.
+    """
+
+
+class InvalidRequestError(EQASMError, ValueError):
+    """A caller-supplied argument is outside the valid domain.
+
+    Dual-inherits :class:`ValueError` so existing callers catching the
+    bare built-in keep working while new callers can catch the library
+    root.
+    """
+
+
+class ExperimentIntegrityError(GuardFault, RuntimeError):
+    """Experiment post-conditions were violated (e.g. a shot produced
+    fewer measurement records than the circuit requires).
+
+    Dual-inherits :class:`RuntimeError` for backward compatibility with
+    callers catching the bare built-in; carries the guard-fault
+    ``context`` mapping like every hardening-layer error.
+    """
+
+
 class PlantError(EQASMError):
     """Raised by the quantum plant for physically impossible requests,
     e.g. a two-qubit unitary applied to a single qubit."""

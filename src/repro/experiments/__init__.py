@@ -45,6 +45,7 @@ from repro.experiments.surface_code import (
 )
 from repro.experiments.runner import (
     ExperimentSetup,
+    RetryPolicy,
     excited_fraction,
     ground_fraction,
     outcome_counts,
@@ -64,6 +65,7 @@ __all__ = [
     "RBFit",
     "RBTimingResult",
     "RabiResult",
+    "RetryPolicy",
     "ResetResult",
     "build_benchmarks",
     "config9_effective_ops",

@@ -8,6 +8,7 @@ QuMA v2 instruction memory and executed against the plant for N shots.
 
 from __future__ import annotations
 
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
@@ -22,6 +23,16 @@ from repro.compiler.scheduler import (
     schedule_with_interval,
 )
 from repro.core.assembler import AssembledProgram, Assembler
+from repro.core.errors import (
+    BackendFaultError,
+    ConfigurationError,
+    GuardFault,
+    InvalidRequestError,
+    PlantError,
+    QueueOverflowError,
+    ResourceError,
+    ShotTimeoutError,
+)
 from repro.core.isa import EQASMInstantiation, two_qubit_instantiation
 from repro.quantum.noise import NoiseModel
 from repro.quantum.plant import QuantumPlant
@@ -33,6 +44,26 @@ from repro.uarch.trace import ShotCounts, ShotTrace
 #: Compiled-program cache bound (FIFO eviction); sweeps rarely cycle
 #: through more distinct circuit skeletons than this.
 _PROGRAM_CACHE_CAPACITY = 128
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry/backoff policy for :meth:`ExperimentSetup.run_resilient`.
+
+    ``max_attempts`` bounds the total executions (first try included);
+    ``backoff_s`` sleeps between attempts — zero by default, since the
+    simulator's failures are deterministic, but sweeps driving external
+    resources can ask for real backoff.
+    """
+
+    max_attempts: int = 3
+    backoff_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError("max_attempts must be at least 1")
+        if self.backoff_s < 0:
+            raise ConfigurationError("backoff_s must be non-negative")
 
 
 @dataclass
@@ -53,7 +84,8 @@ class ExperimentSetup:
                noise: NoiseModel | None = None,
                seed: int = 0,
                config: UarchConfig | None = None,
-               plant_backend: str = "auto") -> "ExperimentSetup":
+               plant_backend: str = "auto",
+               audit_fraction: float = 0.0) -> "ExperimentSetup":
         """Build the Section 5 experimental setup.
 
         Defaults: the two-qubit instantiation, the calibrated noise
@@ -67,6 +99,11 @@ class ExperimentSetup:
         anything non-Clifford** (Rabi pulses, T gates, T1/T2
         decoherence); ``"dense"`` or ``"stabilizer"`` pin a backend.
         The choice is reported per run via :attr:`last_plant_backend`.
+
+        ``audit_fraction`` turns on self-verifying replay: that
+        fraction of replayed (cache-hit) shots is shadow-run on the
+        interpreter and compared bit-for-bit — see
+        :meth:`repro.uarch.machine.QuMAv2.run_iter`.
         """
         isa = isa or two_qubit_instantiation()
         plant = QuantumPlant(isa.topology,
@@ -74,7 +111,8 @@ class ExperimentSetup:
                              else NoiseModel(),
                              rng=np.random.default_rng(seed))
         machine = QuMAv2(isa, plant, config=config,
-                         plant_backend=plant_backend)
+                         plant_backend=plant_backend,
+                         audit_fraction=audit_fraction)
         return cls(isa=isa, machine=machine, assembler=Assembler(isa))
 
     # ------------------------------------------------------------------
@@ -156,6 +194,102 @@ class ExperimentSetup:
         """
         self.machine.load(assembled)
         return self.machine.run_counts(shots)
+
+    # ------------------------------------------------------------------
+    # Resilient execution (degradation ladder)
+    # ------------------------------------------------------------------
+    def run_resilient(self, assembled: AssembledProgram, shots: int,
+                      policy: RetryPolicy | None = None
+                      ) -> list[ShotTrace]:
+        """Run N shots with graceful degradation instead of aborting.
+
+        Structured runtime failures walk a degradation ladder —
+        tableau -> dense -> interpreter-only -> abort — one rung per
+        retry, bounded by ``policy.max_attempts``:
+
+        * :class:`~repro.core.errors.ResourceError` (a state too large
+          for the memory budget) retries with the polynomial-memory
+          stabilizer backend pinned;
+        * :class:`~repro.core.errors.BackendFaultError` /
+          :class:`~repro.core.errors.PlantError` on the tableau retries
+          on the dense backend when it fits, otherwise (and for dense
+          faults) retries interpreter-only so a poisoned replay tree
+          cannot serve stale shots;
+        * :class:`~repro.core.errors.QueueOverflowError` /
+          :class:`~repro.core.errors.ShotTimeoutError` retry
+          interpreter-only once;
+        * anything else — or a fall off the ladder — re-raises.
+
+        Every rung taken is recorded in the (successful) run's
+        :attr:`EngineStats.degradations`; the machine's configured
+        plant-backend policy is restored afterwards regardless of
+        outcome.
+        """
+        policy = policy or RetryPolicy()
+        machine = self.machine
+        original_policy = machine.plant_backend_policy
+        degradations: list[str] = []
+        use_replay = True
+        try:
+            for attempt in range(policy.max_attempts):
+                try:
+                    machine.load(assembled)
+                    traces = list(machine.run_iter(
+                        shots, use_replay=use_replay))
+                except (GuardFault, PlantError) as error:
+                    if attempt + 1 >= policy.max_attempts:
+                        raise
+                    rung = self._next_rung(error, use_replay)
+                    if rung is None:
+                        raise
+                    step, use_replay = rung
+                    degradations.append(
+                        f"attempt {attempt + 1}: "
+                        f"{type(error).__name__} -> {step}")
+                    if policy.backoff_s:
+                        time.sleep(policy.backoff_s)
+                    continue
+                stats = machine.engine_stats
+                stats.degradations[:0] = degradations
+                return traces
+            raise AssertionError("unreachable: ladder exits by "
+                                 "return or raise")  # pragma: no cover
+        finally:
+            machine.plant_backend_policy = original_policy
+
+    def _next_rung(self, error: Exception,
+                   use_replay: bool) -> tuple[str, bool] | None:
+        """The next degradation step for a failed attempt, or None to
+        abort (re-raise).  Returns ``(description, use_replay)``."""
+        machine = self.machine
+        if isinstance(error, ResourceError):
+            if machine.plant_backend_policy != "stabilizer":
+                machine.plant_backend_policy = "stabilizer"
+                return ("retry on the stabilizer backend "
+                        "(polynomial memory)", use_replay)
+            return None  # the tableau itself does not fit: abort
+        if isinstance(error, (QueueOverflowError, ShotTimeoutError)):
+            if use_replay:
+                return "retry interpreter-only", False
+            return None
+        if isinstance(error, (BackendFaultError, PlantError)):
+            faulted_backend = getattr(error, "context", {}).get(
+                "backend", machine.last_plant_backend)
+            if faulted_backend == "stabilizer":
+                try:
+                    machine.plant.check_admission("dense")
+                except ResourceError:
+                    if use_replay:
+                        return ("dense does not fit; retry "
+                                "interpreter-only on the tableau",
+                                False)
+                    return None
+                machine.plant_backend_policy = "dense"
+                return "retry on the dense backend", use_replay
+            if use_replay:
+                return "retry interpreter-only", False
+            return None
+        return None
 
     @property
     def last_engine_stats(self) -> EngineStats:
@@ -247,7 +381,8 @@ def excited_fraction(traces: list[ShotTrace], qubit: int) -> float:
     results = [trace.last_result(qubit) for trace in traces]
     results = [r for r in results if r is not None]
     if not results:
-        raise ValueError(f"no measurement results for qubit {qubit}")
+        raise InvalidRequestError(
+            f"no measurement results for qubit {qubit}")
     return sum(results) / len(results)
 
 

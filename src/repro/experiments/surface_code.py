@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.errors import ExperimentIntegrityError, InvalidRequestError
 from repro.core.isa import (
     seven_qubit_instantiation,
     seventeen_qubit_instantiation,
@@ -78,7 +79,8 @@ STOP
 def looped_surface_code_program(rounds: int) -> str:
     """The counted-loop syndrome-extraction binary (eQASM text)."""
     if rounds < 1:
-        raise ValueError(f"need at least one round, got {rounds}")
+        raise InvalidRequestError(
+            f"need at least one round, got {rounds}")
     return LOOPED_SURFACE_CODE_TEMPLATE.format(rounds=rounds)
 
 
@@ -123,9 +125,10 @@ def run_surface_code_experiment(
         results_2 = [r.reported_result for r in trace.results_for(2)]
         results_4 = [r.reported_result for r in trace.results_for(4)]
         if len(results_2) != rounds or len(results_4) != rounds:
-            raise RuntimeError(
+            raise ExperimentIntegrityError(
                 f"expected {rounds} ancilla results per shot, got "
-                f"{len(results_2)}/{len(results_4)}")
+                f"{len(results_2)}/{len(results_4)}",
+                expected=rounds, got=(len(results_2), len(results_4)))
         shot_syndromes = [Syndrome(z_check_2=results_2[i],
                                    z_check_4=results_4[i])
                           for i in range(rounds)]
@@ -157,9 +160,10 @@ def run_looped_surface_code_experiment(
         results_2 = [r.reported_result for r in trace.results_for(2)]
         results_4 = [r.reported_result for r in trace.results_for(4)]
         if len(results_2) != rounds or len(results_4) != rounds:
-            raise RuntimeError(
+            raise ExperimentIntegrityError(
                 f"expected {rounds} ancilla results per shot, got "
-                f"{len(results_2)}/{len(results_4)}")
+                f"{len(results_2)}/{len(results_4)}",
+                expected=rounds, got=(len(results_2), len(results_4)))
         syndromes_per_shot.append(
             [Syndrome(z_check_2=results_2[i], z_check_4=results_4[i])
              for i in range(rounds)])
@@ -191,7 +195,8 @@ def run_surface17_experiment(
         error: tuple[str, int] | None = None,
         error_after_round: int = 0,
         shots: int = 50, seed: int = 29,
-        noise: NoiseModel | None = None) -> Surface17Result:
+        noise: NoiseModel | None = None,
+        plant_backend: str = "auto") -> Surface17Result:
     """Distance-3 syndrome extraction on the 17-qubit chip.
 
     This experiment is *only* runnable on the stabilizer-tableau plant
@@ -201,11 +206,18 @@ def run_surface17_experiment(
     with zero gate error the branch-resolved replay tree compounds on
     top.  Shots are streamed and reduced to per-round Z syndromes
     exactly like the distance-2 experiment.
+
+    ``plant_backend`` is forwarded to the machine.  Pinning ``"dense"``
+    does *not* OOM the host: admission control refuses the ~256 GB
+    density matrix up front with a structured
+    :class:`~repro.core.errors.ResourceError` whose context carries the
+    byte estimate, the budget, and the suggestion to use
+    ``plant_backend='stabilizer'``.
     """
     setup = ExperimentSetup.create(
         isa=seventeen_qubit_instantiation(),
         noise=noise if noise is not None else NoiseModel.noiseless(),
-        seed=seed)
+        seed=seed, plant_backend=plant_backend)
     circuit = surface17_circuit(rounds=rounds, error=error,
                                 error_after_round=error_after_round)
     syndromes_per_shot: list[list[Syndrome17]] = []
@@ -216,9 +228,10 @@ def run_surface17_experiment(
             for ancilla in SURFACE17_Z_ANCILLAS}
         for ancilla, results in per_ancilla.items():
             if len(results) != rounds:
-                raise RuntimeError(
+                raise ExperimentIntegrityError(
                     f"expected {rounds} results on ancilla {ancilla} "
-                    f"per shot, got {len(results)}")
+                    f"per shot, got {len(results)}",
+                    expected=rounds, got=len(results), ancilla=ancilla)
         syndromes_per_shot.append([
             Syndrome17(z_checks=tuple(
                 (ancilla, per_ancilla[ancilla][index])

@@ -111,6 +111,34 @@ class PlantBackend(abc.ABC):
         raise PlantError(
             f"the {self.kind} backend does not expose a density matrix")
 
+    # -- integrity (runtime guards + fault injection) ------------------
+    @classmethod
+    def estimate_bytes(cls, num_qubits: int) -> int:
+        """Approximate memory this backend needs for ``num_qubits``.
+
+        Admission control compares the estimate against the plant's
+        memory budget *before* constructing the backend, so an
+        impossible request fails fast with the number instead of
+        OOM-ing mid-allocation.
+        """
+        return 0
+
+    def state_digest(self, snapshot: object) -> int | None:
+        """Cheap integrity token for a snapshot (None: not supported).
+
+        :meth:`QuantumPlant.restore` re-digests the stored snapshot
+        and refuses to load state whose token no longer matches —
+        corruption of a stored snapshot becomes a structured
+        :class:`~repro.core.errors.BackendFaultError` instead of a
+        silently wrong state.
+        """
+        return None
+
+    def corrupt_snapshot(self, snapshot: object,
+                         rng: np.random.Generator) -> None:
+        """Tamper a snapshot in place (``snapshot_corrupt`` fault
+        injection); a no-op for backends without a digest."""
+
 
 class DenseBackend(PlantBackend):
     """The exact density-matrix backend (the historical plant state).
@@ -161,3 +189,18 @@ class DenseBackend(PlantBackend):
 
     def density_matrix(self) -> DensityMatrix:
         return self.state.copy()
+
+    @classmethod
+    def estimate_bytes(cls, num_qubits: int) -> int:
+        # One complex128 (16-byte) entry per element of the
+        # 2^n x 2^n density matrix.
+        return 16 * 4 ** num_qubits
+
+    def state_digest(self, snapshot: DensityMatrix) -> int:
+        return hash(snapshot.matrix.tobytes())
+
+    def corrupt_snapshot(self, snapshot: DensityMatrix,
+                         rng: np.random.Generator) -> None:
+        dim = 1 << snapshot.num_qubits
+        row = int(rng.integers(dim))
+        snapshot._matrix[row, row] += 0.125

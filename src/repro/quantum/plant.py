@@ -48,7 +48,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.errors import PlantError
+from repro.core.errors import BackendFaultError, PlantError, ResourceError
 from repro.quantum.backend import DenseBackend, PlantBackend
 from repro.quantum.density_matrix import DensityMatrix
 from repro.quantum.noise import NoiseModel
@@ -81,6 +81,11 @@ class PlantSnapshot:
     qubit_free_at: dict[int, float]
     operations_log: tuple[AppliedOperation, ...]
     backend_kind: str = "dense"
+    #: Integrity token of ``state`` at capture time (None: the backend
+    #: does not support digests).  :meth:`QuantumPlant.restore`
+    #: verifies it so a corrupted stored snapshot is detected instead
+    #: of silently loading wrong state.
+    digest: int | None = None
 
 
 class QuantumPlant:
@@ -110,6 +115,12 @@ class QuantumPlant:
     #: cycle; third-party backends may add entries as well.
     BACKENDS: dict[str, type[PlantBackend]] = {"dense": DenseBackend}
 
+    #: Default admission budget for any one backend's state.  2 GiB
+    #: admits the 13-qubit dense matrix (1 GiB) and refuses 14 qubits
+    #: and up (4 GiB+) — requests past the budget fail fast with the
+    #: estimate instead of OOM-ing mid-allocation.
+    DEFAULT_MEMORY_LIMIT_BYTES = 2 * 2 ** 30
+
     def __init__(self, topology: QuantumChipTopology,
                  noise: NoiseModel | None = None,
                  rng: np.random.Generator | None = None,
@@ -129,20 +140,57 @@ class QuantumPlant:
         #: replay engine records the pre-collapse P(1) at each segment
         #: boundary through this.  Survives :meth:`reset_shot`.
         self.measure_observer = None
+        #: Admission budget for backend state (overridable per plant).
+        self.memory_limit_bytes = self.DEFAULT_MEMORY_LIMIT_BYTES
+        #: Armed :class:`~repro.uarch.faults.FaultPlan` (None in
+        #: production) — set by :meth:`QuMAv2.arm_faults`.
+        self.fault_plan = None
 
     # ------------------------------------------------------------------
     # Backend selection
     # ------------------------------------------------------------------
-    def _make_backend(self, kind: str) -> PlantBackend:
+    def check_admission(self, kind: str | None = None) -> None:
+        """Fail fast when a backend's state would not fit in memory.
+
+        Estimates the requested backend's state size from the qubit
+        count and raises :class:`~repro.core.errors.ResourceError` —
+        with the estimate, the budget and a suggested alternative in
+        machine-readable context — when it exceeds
+        :attr:`memory_limit_bytes`.  Called automatically before any
+        backend is constructed.
+        """
+        kind = kind if kind is not None else self._backend_kind
+        factory = self._backend_factory(kind)
+        estimate = factory.estimate_bytes(self.num_qubits)
+        limit = self.memory_limit_bytes
+        if estimate <= limit:
+            return
+        suggestion = (
+            "use plant_backend='stabilizer' (polynomial memory) for "
+            "Clifford workloads, or a narrower chip"
+            if kind == "dense" else "use a narrower chip")
+        raise ResourceError(
+            f"the {kind} backend needs ~{estimate:,} bytes for "
+            f"{self.num_qubits} qubits, past the {limit:,}-byte "
+            f"admission budget; {suggestion}",
+            requested_bytes=estimate, limit_bytes=limit,
+            num_qubits=self.num_qubits, backend=kind,
+            suggestion=suggestion)
+
+    def _backend_factory(self, kind: str) -> type[PlantBackend]:
         if kind == "stabilizer" and kind not in self.BACKENDS:
             # Lazy registration: importing the module adds the entry.
             from repro.quantum import stabilizer  # noqa: F401
         try:
-            factory = self.BACKENDS[kind]
+            return self.BACKENDS[kind]
         except KeyError:
             known = ", ".join(sorted(self.BACKENDS))
             raise PlantError(
                 f"unknown plant backend {kind!r}; known backends: {known}")
+
+    def _make_backend(self, kind: str) -> PlantBackend:
+        factory = self._backend_factory(kind)
+        self.check_admission(kind)
         return factory(self.num_qubits)
 
     @property
@@ -196,23 +244,44 @@ class QuantumPlant:
 
     def snapshot(self) -> PlantSnapshot:
         """Capture the current state, busy times and operation log."""
-        return PlantSnapshot(state=self.backend.snapshot(),
+        backend = self.backend
+        state = backend.snapshot()
+        return PlantSnapshot(state=state,
                              qubit_free_at=dict(self._qubit_free_at),
                              operations_log=tuple(self.operations_log),
-                             backend_kind=self._backend_kind)
+                             backend_kind=self._backend_kind,
+                             digest=backend.state_digest(state))
 
     def restore(self, snapshot: PlantSnapshot) -> None:
         """Return the plant to a previously captured snapshot.
 
         The snapshot itself is never aliased: the state is copied on
         both capture and restore, so one snapshot can seed arbitrarily
-        many replayed shots.
+        many replayed shots.  When the backend supports state digests
+        the stored state's integrity is re-verified here: a snapshot
+        corrupted since capture raises
+        :class:`~repro.core.errors.BackendFaultError` instead of
+        silently loading wrong state.
         """
         if snapshot.backend_kind != self._backend_kind:
             raise PlantError(
                 f"snapshot was captured on the {snapshot.backend_kind} "
                 f"backend; the plant now runs {self._backend_kind}")
-        self.backend.restore(snapshot.state)
+        backend = self.backend
+        plan = self.fault_plan
+        if plan is not None and plan.fire("snapshot_corrupt",
+                                          backend=self._backend_kind):
+            backend.corrupt_snapshot(snapshot.state, plan.rng)
+        if snapshot.digest is not None:
+            digest = backend.state_digest(snapshot.state)
+            if digest != snapshot.digest:
+                raise BackendFaultError(
+                    f"snapshot integrity violation on the "
+                    f"{self._backend_kind} backend: stored state no "
+                    f"longer matches its capture-time digest",
+                    backend=self._backend_kind, operation="restore",
+                    site="snapshot_corrupt")
+        backend.restore(snapshot.state)
         self._qubit_free_at = dict(snapshot.qubit_free_at)
         self.operations_log = list(snapshot.operations_log)
 
@@ -261,6 +330,14 @@ class QuantumPlant:
         """
         if not qubits:
             raise PlantError(f"operation {name} has no target qubits")
+        plan = self.fault_plan
+        if plan is not None and plan.fire("backend_gate", operation=name,
+                                          qubits=qubits):
+            raise BackendFaultError(
+                f"injected backend fault while applying {name} to "
+                f"qubits {qubits} on the {self._backend_kind} backend",
+                backend=self._backend_kind, operation=name,
+                qubits=qubits, site="backend_gate")
         for address in qubits:
             self._advance_qubit(address, start_ns)
         indices = tuple(self.qubit_index(address) for address in qubits)

@@ -412,6 +412,21 @@ class StabilizerBackend(PlantBackend):
     def collapse(self, index: int, result: int) -> None:
         self.tableau.collapse(index, result)
 
+    @classmethod
+    def estimate_bytes(cls, num_qubits: int) -> int:
+        # Two (2n x n) uint8 arrays plus the 2n-entry phase vector.
+        return 4 * num_qubits * num_qubits + 2 * num_qubits
+
+    def state_digest(self, snapshot: StabilizerTableau) -> int:
+        return hash((snapshot.x.tobytes(), snapshot.z.tobytes(),
+                     snapshot.r.tobytes()))
+
+    def corrupt_snapshot(self, snapshot: StabilizerTableau,
+                         rng: np.random.Generator) -> None:
+        row = int(rng.integers(snapshot.x.shape[0]))
+        column = int(rng.integers(snapshot.x.shape[1]))
+        snapshot.x[row, column] ^= 1
+
 
 # Register with the plant's backend table ("stabilizer" resolves here).
 from repro.quantum.plant import QuantumPlant  # noqa: E402

@@ -10,6 +10,12 @@ from repro.uarch.devices import (
     PulseLibrary,
     QubitMicroOp,
 )
+from repro.uarch.faults import (
+    FAULT_SITES,
+    FaultPlan,
+    FaultRecord,
+    FaultSpec,
+)
 from repro.uarch.machine import QuMAv2
 from repro.uarch.measurement import (
     MeasurementUnit,
@@ -19,6 +25,7 @@ from repro.uarch.measurement import (
 from repro.uarch.quantum_pipeline import OpSel, QuantumPipeline, ReservedPoint
 from repro.uarch.replay import (
     EngineStats,
+    ReplayAudit,
     MeasurementSample,
     ReplayError,
     TimelineTree,
@@ -40,6 +47,10 @@ __all__ = [
     "DeviceOperation",
     "EngineStats",
     "EventQueue",
+    "FAULT_SITES",
+    "FaultPlan",
+    "FaultRecord",
+    "FaultSpec",
     "MeasurementSample",
     "MeasurementUnit",
     "MockCursorView",
@@ -49,6 +60,7 @@ __all__ = [
     "QuMAv2",
     "QuantumPipeline",
     "QubitMicroOp",
+    "ReplayAudit",
     "ReplayError",
     "ReservedPoint",
     "ResultRecord",

@@ -66,6 +66,14 @@ class UarchConfig:
     # Behaviour when an event is reserved after its trigger due time.
     late_policy: str = "strict"
 
+    # Per-shot watchdog: abort any shot whose simulated timeline passes
+    # this many nanoseconds (None disables the guard).  A shot that
+    # exceeds the budget raises
+    # :class:`~repro.core.errors.ShotTimeoutError` instead of spinning —
+    # the runtime guard against stalled measurement paths (an FMR
+    # waiting on a result that never arrives) and runaway loops.
+    shot_time_budget_ns: float | None = None
+
     def __post_init__(self) -> None:
         if self.classical_cycle_ns <= 0 or self.quantum_cycle_ns <= 0:
             raise ConfigurationError("cycle times must be positive")
@@ -75,6 +83,10 @@ class UarchConfig:
                 f"got {self.late_policy!r}")
         if self.timing_queue_depth < 1 or self.event_queue_depth < 1:
             raise ConfigurationError("queue depths must be at least 1")
+        if (self.shot_time_budget_ns is not None
+                and self.shot_time_budget_ns <= 0):
+            raise ConfigurationError(
+                "shot_time_budget_ns must be positive (or None)")
 
     @property
     def fast_conditional_path_ns(self) -> float:

@@ -43,7 +43,11 @@ from typing import Callable, Iterator
 from repro.core.assembler import AssembledProgram
 from repro.core.encoding import InstructionDecoder
 from repro.core.errors import (
+    ConfigurationError,
+    EQASMError,
+    QueueOverflowError,
     RuntimeFault,
+    ShotTimeoutError,
     TimingViolationError,
 )
 from repro.core.instructions import (
@@ -90,11 +94,13 @@ from repro.uarch.devices import (
     QubitMicroOp,
 )
 from repro.uarch.dataflow import DataMemoryReport, analyze_data_memory
+from repro.uarch.faults import FaultPlan
 from repro.uarch.measurement import MeasurementUnit, PendingResult
 from repro.uarch.quantum_pipeline import QuantumPipeline, ReservedPoint
 from repro.uarch.replay import (
     EngineStats,
     MeasurementSample,
+    ReplayAudit,
     TimelineTree,
     replay_unsupported_reason,
     replay_unsupported_reasons,
@@ -153,7 +159,12 @@ class QuMAv2:
 
     def __init__(self, isa: EQASMInstantiation, plant: QuantumPlant,
                  config: UarchConfig | None = None,
-                 plant_backend: str = "auto"):
+                 plant_backend: str = "auto",
+                 audit_fraction: float = 0.0):
+        if not 0.0 <= audit_fraction <= 1.0:
+            raise ConfigurationError(
+                f"audit_fraction must lie in [0, 1], "
+                f"got {audit_fraction!r}")
         self.isa = isa
         self.plant = plant
         self.config = config or UarchConfig()
@@ -202,7 +213,35 @@ class QuMAv2:
         self._dataflow_cache: OrderedDict[tuple, DataMemoryReport] = \
             OrderedDict()
         self._plant_backend_reasons: list[str] | None = None
+        #: Fraction of cache-hit replay shots shadow-run on the
+        #: interpreter and compared bit-for-bit (self-verifying
+        #: replay); 0.0 disables auditing.  Divergence evicts the
+        #: tree from both caches and degrades the run — see
+        #: :meth:`run_iter`.
+        self.audit_fraction = audit_fraction
+        self._audit_credit = 0.0
+        #: Armed :class:`~repro.uarch.faults.FaultPlan` (None in
+        #: production) — see :meth:`arm_faults`.
+        self.fault_plan: FaultPlan | None = None
         self._reset_shot_state()
+
+    def arm_faults(self, plan: FaultPlan | None) -> None:
+        """Arm a deterministic fault-injection plan (None disarms).
+
+        The one plan is distributed to every subsystem with an
+        injection site — the machine itself (``timing_overflow``,
+        ``measurement_stall``, ``tree_bitflip``), the plant
+        (``backend_gate``, ``snapshot_corrupt``) and the measurement
+        unit (``mock_exhaust``) — so one chaos experiment coordinates
+        shot-pinned failures across the whole stack.
+        """
+        self.fault_plan = plan
+        self.plant.fault_plan = plan
+        self.measurement_unit.fault_plan = plan
+
+    def disarm_faults(self) -> None:
+        """Remove any armed fault-injection plan."""
+        self.arm_faults(None)
 
     # ------------------------------------------------------------------
     # Program loading
@@ -268,11 +307,21 @@ class QuMAv2:
             raise RuntimeFault("no program loaded")
         self.reset_shot()
         trace = self._trace
+        budget_ns = self.config.shot_time_budget_ns
         while trace.instructions_executed < max_instructions:
             if self._pc < 0 or self._pc >= len(self._instructions):
                 break  # fell off the end: implicit stop
             instruction = self._instructions[self._pc]
             self._drain_events_until(self._classical_time_ns)
+            if budget_ns is not None and self._classical_time_ns > budget_ns:
+                raise ShotTimeoutError(
+                    f"shot exceeded its {budget_ns:.0f} ns time budget "
+                    f"at {self._classical_time_ns:.0f} ns "
+                    f"({trace.instructions_executed} instructions "
+                    f"executed)",
+                    budget_ns=budget_ns,
+                    elapsed_ns=self._classical_time_ns,
+                    instructions_executed=trace.instructions_executed)
             if isinstance(instruction, Stop):
                 trace.stop_reached = True
                 trace.instructions_executed += 1
@@ -280,9 +329,12 @@ class QuMAv2:
             self._execute(instruction)
             trace.instructions_executed += 1
         else:
-            raise RuntimeFault(
+            raise ShotTimeoutError(
                 f"instruction limit ({max_instructions}) exceeded — "
-                f"runaway program?")
+                f"runaway program?",
+                limit=max_instructions,
+                instructions_executed=trace.instructions_executed,
+                elapsed_ns=self._classical_time_ns)
         # End of program: flush the last buffered timing point and
         # drain every remaining deterministic-domain event.
         flushed = self.quantum_pipeline.flush_pending()
@@ -328,6 +380,7 @@ class QuMAv2:
         """
         stats = EngineStats()
         self.engine_stats = stats
+        self._audit_credit = 0.0
         # Forced outcomes are a per-run_shot driving aid; a queue left
         # over from an earlier run_shot() would silently bias the first
         # shots here (and shift the replay engine's own forced prefixes
@@ -350,6 +403,9 @@ class QuMAv2:
         self.plant_backend_reason = backend_reason
         stats.plant_backend = backend_kind
         stats.plant_backend_reason = backend_reason
+        plan = self.fault_plan
+        if plan is not None:
+            plan.begin_run()
         reasons = (["replay disabled by caller"] if not use_replay
                    else self.replay_unsupported_reasons())
         if reasons:
@@ -358,10 +414,15 @@ class QuMAv2:
             self.replay_fallback_reason = reason
             stats.engine = "interpreter"
             stats.fallback_reason = reason
-            for _ in range(shots):
-                stats.shots_total += 1
-                stats.interpreter_shots += 1
-                yield self.run_shot(max_instructions)
+            try:
+                for shot_index in range(shots):
+                    if plan is not None:
+                        plan.begin_shot(shot_index)
+                    stats.shots_total += 1
+                    stats.interpreter_shots += 1
+                    yield self.run_shot(max_instructions)
+            finally:
+                self._sync_faults(stats, plan)
             return
         self.last_run_engine = "replay"
         self.replay_fallback_reason = None
@@ -378,25 +439,92 @@ class QuMAv2:
         stats.growth_stopped_reason = tree.growth_stopped_reason
         measurement_unit = self.measurement_unit
         mock_clamp = self._mock_fingerprint_clamp(tree.max_depth)
-        for _ in range(shots):
-            stats.shots_total += 1
-            mock_view = measurement_unit.mock_view(mock_clamp)
-            trace, outcome_prefix = tree.sample_shot(mock_view)
-            if trace is not None:
-                mock_view.commit()
-                stats.replay_shots += 1
-                stats.segment_cache_hits += 1
-                stats.mock_results_replayed += mock_view.consumed
-                yield trace
-                continue
-            stats.segment_cache_misses += 1
-            stats.interpreter_shots += 1
-            yield self._grow_tree_shot(tree, mock_view.fingerprint,
-                                       outcome_prefix, max_instructions)
-            stats.tree_nodes = tree.node_count
-            stats.tree_paths = tree.path_count
-            stats.tree_roots = tree.root_count
-            stats.growth_stopped_reason = tree.growth_stopped_reason
+        degraded_reason = None
+        try:
+            for shot_index in range(shots):
+                if plan is not None:
+                    plan.begin_shot(shot_index)
+                stats.shots_total += 1
+                if degraded_reason is not None:
+                    # A confirmed audit divergence invalidated the
+                    # tree; the rest of the run is interpreter-only.
+                    stats.interpreter_shots += 1
+                    yield self.run_shot(max_instructions)
+                    continue
+                if plan is not None and plan.would_fire("tree_bitflip"):
+                    detail = tree.corrupt_random_template(plan.rng)
+                    if detail is not None:
+                        plan.fire("tree_bitflip", detail=detail)
+                mock_view = measurement_unit.mock_view(mock_clamp)
+                trace, outcome_prefix = tree.sample_shot(mock_view)
+                if trace is not None:
+                    stats.segment_cache_hits += 1
+                    if self._audit_due():
+                        shadow, mismatched, detail = \
+                            self._audit_replay_shot(trace,
+                                                    max_instructions)
+                        stats.replay_audits += 1
+                        if mismatched:
+                            if not detail:
+                                detail = ("cached replay trace diverged "
+                                          "from its interpreter shadow")
+                            stats.audit_divergences += 1
+                            stats.last_audit = ReplayAudit(
+                                shot_index=shot_index,
+                                mismatched_fields=tuple(mismatched),
+                                tree_evicted=True, detail=detail)
+                            degraded_reason = (
+                                f"replay audit divergence at shot "
+                                f"{shot_index} "
+                                f"({', '.join(mismatched)})")
+                            stats.degradations.append(
+                                f"replay -> interpreter: "
+                                f"{degraded_reason}")
+                            self._evict_tree(tree)
+                            stats.interpreter_shots += 1
+                            if shadow is None:
+                                shadow = self.run_shot(max_instructions)
+                            yield shadow
+                            continue
+                        stats.last_audit = ReplayAudit(
+                            shot_index=shot_index, mismatched_fields=(),
+                            tree_evicted=False)
+                        # The shadow interpreter shot consumed the real
+                        # mock cursors itself — committing the view too
+                        # would double-drain the queues.
+                        stats.replay_shots += 1
+                        stats.mock_results_replayed += mock_view.consumed
+                        yield trace
+                        continue
+                    mock_view.commit()
+                    stats.replay_shots += 1
+                    stats.mock_results_replayed += mock_view.consumed
+                    yield trace
+                    continue
+                stats.segment_cache_misses += 1
+                stats.interpreter_shots += 1
+                yield self._grow_tree_shot(tree, mock_view.fingerprint,
+                                           outcome_prefix,
+                                           max_instructions)
+                stats.tree_nodes = tree.node_count
+                stats.tree_paths = tree.path_count
+                stats.tree_roots = tree.root_count
+                stats.growth_stopped_reason = tree.growth_stopped_reason
+        finally:
+            self._sync_faults(stats, plan)
+            if plan is not None and plan.fired_this_run:
+                # A fault that fired during this run may have stopped
+                # tree growth early or corrupted cached state; never
+                # let the tree leak into later runs through the
+                # cross-run cache.
+                self._evict_tree(tree)
+        if degraded_reason is not None:
+            self.replay_fallback_reason = degraded_reason
+            stats.fallback_reason = degraded_reason
+            if stats.replay_shots == 0:
+                stats.engine = "interpreter"
+                self.last_run_engine = "interpreter"
+            return
         if stats.replay_shots == 0 and stats.interpreter_shots > 0:
             # The replay engine was selected but every shot ended up a
             # growth (interpreter) shot — e.g. the outcome paths exceed
@@ -411,6 +539,70 @@ class QuMAv2:
             stats.fallback_reason = reason
             self.last_run_engine = "interpreter"
             self.replay_fallback_reason = reason
+
+    #: Trace fields the self-verifying audit compares bit-for-bit.
+    _AUDIT_FIELDS = ("triggers", "results", "slips",
+                     "instructions_executed", "classical_time_ns",
+                     "stop_reached")
+
+    def _audit_due(self) -> bool:
+        """Deterministic audit cadence: every ``1/audit_fraction``-th
+        cache-hit shot is shadowed (an accumulator, not an RNG draw,
+        so audited runs stay exactly reproducible and never perturb
+        the plant's random stream)."""
+        fraction = self.audit_fraction
+        if fraction <= 0.0:
+            return False
+        self._audit_credit += fraction
+        if self._audit_credit >= 1.0 - 1e-12:
+            self._audit_credit -= 1.0
+            return True
+        return False
+
+    def _audit_replay_shot(self, trace: ShotTrace,
+                           max_instructions: int):
+        """Shadow-run one cached replay trace on the interpreter.
+
+        The cached trace's ``(raw, reported)`` outcome sequence is
+        forced onto the measurement unit, so the interpreter re-derives
+        the *same* branch; every timing-visible field of the two traces
+        must then agree bit-for-bit.  Returns ``(shadow_trace,
+        mismatched_field_names, detail)`` — an empty mismatch list
+        means the audit passed.  A shadow that raises is itself a
+        divergence (the cached path claims a shot the interpreter
+        cannot even complete).
+        """
+        outcomes = [(record.raw_result, record.reported_result)
+                    for record in trace.results]
+        self.measurement_unit.force_results(outcomes)
+        try:
+            shadow = self.run_shot(max_instructions)
+        except EQASMError as error:
+            return None, ["shadow-exception"], (
+                f"interpreter shadow raised {type(error).__name__}: "
+                f"{error}")
+        finally:
+            self.measurement_unit.clear_forced_results()
+        mismatched = [name for name in self._AUDIT_FIELDS
+                      if getattr(shadow, name) != getattr(trace, name)]
+        return shadow, mismatched, ""
+
+    def _evict_tree(self, tree: TimelineTree) -> None:
+        """Drop one tree from the cross-run cache (identity match).
+
+        The in-run reference is the caller's to abandon; this makes
+        sure no later ``run()`` resurrects the same object through the
+        keyed cache."""
+        for key in [key for key, value in self._tree_cache.items()
+                    if value is tree]:
+            del self._tree_cache[key]
+
+    @staticmethod
+    def _sync_faults(stats: EngineStats, plan: FaultPlan | None) -> None:
+        """Mirror the plan's fired-fault records into the run stats."""
+        if plan is not None:
+            stats.faults_injected = [record.describe()
+                                     for record in plan.records]
 
     def data_memory_report(self) -> DataMemoryReport:
         """The dataflow pass's verdict on the loaded binary's ``LD``/
@@ -844,9 +1036,12 @@ class QuMAv2:
                 self._schedule_point(pending_point)
         while not register.valid:
             if not self._events:
-                raise RuntimeFault(
+                raise ShotTimeoutError(
                     f"FMR R{instruction.rd}, Q{instruction.qubit} waits "
-                    f"forever: no measurement result will ever arrive")
+                    f"forever: no measurement result will ever arrive",
+                    qubit=instruction.qubit, register=instruction.rd,
+                    elapsed_ns=self._classical_time_ns,
+                    instructions_executed=self._trace.instructions_executed)
             self._process_event(heapq.heappop(self._events))
         write_time = self._last_qreg_write_ns.get(instruction.qubit)
         if write_time is not None and write_time > self._classical_time_ns:
@@ -878,6 +1073,19 @@ class QuMAv2:
     def _schedule_point(self, point: ReservedPoint) -> None:
         """Timing-queue insertion: compute the trigger time and enqueue."""
         config = self.config
+        plan = self.fault_plan
+        if plan is not None and plan.fire(
+                "timing_overflow", cycle=point.cycle,
+                occupancy=self._outstanding_triggers,
+                depth=config.timing_queue_depth):
+            # Injected saturation: the timing controller stops draining,
+            # so the reserve phase's enqueue can never complete.
+            raise QueueOverflowError(
+                f"timing queue overflow injected at cycle {point.cycle}: "
+                f"the reserve phase cannot enqueue against a saturated "
+                f"timing controller",
+                queue="timing", depth=config.timing_queue_depth,
+                occupancy=self._outstanding_triggers, cycle=point.cycle)
         reserve_done = (point.reserved_at_ns +
                         config.quantum_pipeline_depth_cycles *
                         config.classical_cycle_ns)
@@ -995,6 +1203,14 @@ class QuMAv2:
                            time_ns: float) -> None:
         pending = self.measurement_unit.start_measurement(entry.qubit,
                                                           time_ns)
+        plan = self.fault_plan
+        if plan is not None and plan.fire(
+                "measurement_stall", qubit=entry.qubit,
+                measure_start_ns=time_ns):
+            # The result is lost on the UHFQC link: the readout ran but
+            # nothing ever arrives at the controller.  A dependent FMR
+            # then stalls forever and the shot-timeout guard fires.
+            return
         self._push_event(pending.arrival_ns, "result", pending)
 
     def _on_result_arrival(self, time_ns: float,

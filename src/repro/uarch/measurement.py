@@ -135,6 +135,9 @@ class MeasurementUnit:
         #: (the plant's ``measure_observer`` cannot see them: mocked
         #: measurements never touch the plant).
         self.mock_observer = None
+        #: Armed :class:`~repro.uarch.faults.FaultPlan` (None in
+        #: production) — set by :meth:`QuMAv2.arm_faults`.
+        self.fault_plan = None
 
     # ------------------------------------------------------------------
     # Mock-result injection (CFC verification, Section 5)
@@ -304,6 +307,15 @@ class MeasurementUnit:
         caller schedules the Q-register/flag updates at that time.
         """
         duration = self.measurement_duration_ns()
+        plan = self.fault_plan
+        if (plan is not None and self._mock_results and
+                plan.fire("mock_exhaust", qubit=qubit)):
+            # The UHFQC's fabricated-result program dies: every queued
+            # mock vanishes and this (and all later) measurements fall
+            # through to the real plant.  The epoch bump makes replay
+            # fingerprints rebuild, so cached mocked roots simply stop
+            # matching — no structural damage.
+            self.clear_mock_results()
         if self.has_mock_results(qubit):
             cursor = self._mock_cursor.get(qubit, 0)
             raw = self._mock_results[qubit][cursor]

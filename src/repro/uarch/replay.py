@@ -75,7 +75,7 @@ cannot model — force the interpreter for the entire run; see
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass, replace
+from dataclasses import asdict, dataclass, field, replace
 from typing import Iterable
 
 from repro.core.instructions import (
@@ -126,6 +126,24 @@ _REPLAYABLE_CLASSICAL = (Nop, Stop, Cmp, Br, Fbr, Fmr, Ldi, Ldui, Ld,
 
 class ReplayError(Exception):
     """Internal signal: this program cannot be replayed — fall back."""
+
+
+@dataclass(frozen=True, slots=True)
+class ReplayAudit:
+    """One self-verifying replay audit that found a divergence.
+
+    Recorded on :attr:`EngineStats.last_audit` when a shadow
+    interpreter run disagreed with a cached tree walk: the cached tree
+    was evicted (in-run and from the cross-run LRU) and the run
+    degraded to the interpreter.
+    """
+
+    shot_index: int
+    #: Trace fields that differed ("triggers", "results", ...), or
+    #: ("shadow-exception",) when the shadow run itself faulted.
+    mismatched_fields: tuple[str, ...]
+    tree_evicted: bool = True
+    detail: str = ""
 
 
 @dataclass(slots=True)
@@ -191,6 +209,22 @@ class EngineStats:
     #: determinism violation) — remaining unseen paths keep running on
     #: the interpreter.
     growth_stopped_reason: str | None = None
+    #: Cached tree walks shadow-run on the interpreter and compared
+    #: bit-for-bit (the ``audit_fraction`` policy).
+    replay_audits: int = 0
+    #: Audits that found a divergence (each evicts the tree and
+    #: degrades the run to the interpreter).
+    audit_divergences: int = 0
+    #: The most recent divergence, with the mismatched trace fields.
+    last_audit: ReplayAudit | None = None
+    #: Degradation-ladder steps taken during (or around) this run, in
+    #: order — e.g. "replay→interpreter (audit divergence)" from the
+    #: machine, or rung changes recorded by
+    #: :meth:`repro.experiments.runner.ExperimentSetup.run_resilient`.
+    degradations: list[str] = field(default_factory=list)
+    #: Human-readable descriptions of every injected fault that fired
+    #: during this run (empty when no :class:`FaultPlan` is armed).
+    faults_injected: list[str] = field(default_factory=list)
 
     def as_dict(self) -> dict:
         """JSON-ready summary (used by the benchmarks)."""
@@ -204,7 +238,10 @@ class EngineStats:
         view (e.g. progress reporting every N shots of a long sweep)
         takes a snapshot instead of aliasing the live object.
         """
-        return replace(self)
+        copy = replace(self)
+        copy.degradations = list(self.degradations)
+        copy.faults_injected = list(self.faults_injected)
+        return copy
 
 
 @dataclass(frozen=True, slots=True)
@@ -413,6 +450,55 @@ class TimelineTree:
                 return None, outcomes    # unexplored branch: grow here
             node = child
         return node.template.with_sampled_results(outcomes), outcomes
+
+    # ------------------------------------------------------------------
+    # Fault injection (chaos testing of the audit machinery)
+    # ------------------------------------------------------------------
+    def corrupt_random_template(self, rng) -> str | None:
+        """Deliberately corrupt one cached terminal template.
+
+        Used by the ``tree_bitflip`` fault-injection site to prove the
+        self-verifying audit detects cache corruption: one terminal
+        node's frozen trace is replaced by a tampered copy (a trigger
+        time shifted by 1 ns, or the classical time for trigger-free
+        traces).  Returns a description of the tampering, or None when
+        the tree has no terminal template yet.
+        """
+        terminals: list[_TreeNode] = []
+        stack = list(self._roots.values())
+        while stack:
+            node = stack.pop()
+            if node.template is not None:
+                terminals.append(node)
+            stack.extend(node.children.values())
+        if not terminals:
+            return None
+        node = terminals[int(rng.integers(len(terminals)))]
+        template = node.template
+        if template.triggers:
+            index = int(rng.integers(len(template.triggers)))
+            record = template.triggers[index]
+            triggers = list(template.triggers)
+            triggers[index] = replace(record,
+                                      trigger_ns=record.trigger_ns + 1.0,
+                                      output_ns=record.output_ns + 1.0)
+            node.template = ShotTrace(
+                triggers=triggers,
+                results=template.results,
+                slips=template.slips,
+                instructions_executed=template.instructions_executed,
+                classical_time_ns=template.classical_time_ns,
+                stop_reached=template.stop_reached)
+            return (f"trigger {index} ({record.name}) of a cached "
+                    f"template shifted by 1 ns")
+        node.template = ShotTrace(
+            triggers=template.triggers,
+            results=template.results,
+            slips=template.slips,
+            instructions_executed=template.instructions_executed,
+            classical_time_ns=template.classical_time_ns + 1.0,
+            stop_reached=template.stop_reached)
+        return "classical time of a cached template shifted by 1 ns"
 
     # ------------------------------------------------------------------
     # Growth (insert an interpreter shot's observed path)

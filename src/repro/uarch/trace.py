@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.core.errors import InvalidRequestError
+
 
 @dataclass(frozen=True, slots=True)
 class TriggerRecord:
@@ -174,7 +176,8 @@ class ShotCounts:
         """Fraction of shots whose last result on ``qubit`` was 1."""
         measured = self.measured.get(qubit, 0)
         if not measured:
-            raise ValueError(f"no measurement results for qubit {qubit}")
+            raise InvalidRequestError(
+                f"no measurement results for qubit {qubit}")
         return self.ones.get(qubit, 0) / measured
 
     def ground_fraction(self, qubit: int) -> float:

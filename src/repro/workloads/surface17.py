@@ -29,6 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.compiler.ir import Circuit
+from repro.core.errors import InvalidRequestError
 from repro.topology.library import (
     SURFACE17_DATA_QUBITS,
     SURFACE17_X_CHECKS,
@@ -74,7 +75,8 @@ def surface17_circuit(rounds: int = 2,
     every single error).
     """
     if rounds < 1:
-        raise ValueError(f"need at least one round, got {rounds}")
+        raise InvalidRequestError(
+            f"need at least one round, got {rounds}")
     circuit = Circuit(name="surface-code-d3", num_qubits=17)
     for round_index in range(rounds):
         surface17_syndrome_round(circuit,
@@ -82,8 +84,8 @@ def surface17_circuit(rounds: int = 2,
         if error is not None and round_index == error_after_round:
             pauli, qubit = error
             if qubit not in SURFACE17_DATA_QUBITS:
-                raise ValueError(f"errors are injected on data qubits, "
-                                 f"got {qubit}")
+                raise InvalidRequestError(
+                    f"errors are injected on data qubits, got {qubit}")
             if pauli == "Z":
                 circuit.add("Y", qubit)   # Z = X . Y up to phase
                 circuit.add("X", qubit)

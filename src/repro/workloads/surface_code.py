@@ -31,6 +31,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.compiler.ir import Circuit
+from repro.core.errors import InvalidRequestError
 
 DATA_QUBITS = (0, 1, 5, 6)
 Z_CHECKS = {2: (0, 5), 4: (1, 6)}     # ancilla -> data pair
@@ -118,8 +119,8 @@ def surface_code_circuit(rounds: int = 1,
         if error is not None and round_index == error_after_round:
             pauli, qubit = error
             if qubit not in DATA_QUBITS:
-                raise ValueError(f"errors are injected on data qubits, "
-                                 f"got {qubit}")
+                raise InvalidRequestError(
+                    f"errors are injected on data qubits, got {qubit}")
             if pauli == "Z":
                 # Z = X . Y up to phase in the native set.
                 circuit.add("Y", qubit)

@@ -33,3 +33,10 @@ def pytest_terminal_summary(terminalreporter, exitstatus, config):
                           for name, count in sorted(backends.items()))
         terminalreporter.write_line(
             f"differential-fuzz plant-backend mix — {parts}")
+    chaos = getattr(fuzz_module, "CHAOS_MIX", None)
+    if chaos:
+        total = sum(chaos.values())
+        parts = ", ".join(f"{name}: {count}"
+                          for name, count in sorted(chaos.items()))
+        terminalreporter.write_line(
+            f"fault-injection chaos mix over {total} cases — {parts}")

@@ -36,10 +36,11 @@ import numpy as np
 import pytest
 
 from repro.core import Assembler, two_qubit_instantiation
-from repro.core.errors import TimingViolationError
+from repro.core.errors import EQASMError, TimingViolationError
+from repro.experiments.runner import ExperimentSetup, RetryPolicy
 from repro.quantum import NoiseModel, QuantumPlant
 from repro.quantum.noise import DecoherenceModel, GateErrorModel
-from repro.uarch import QuMAv2
+from repro.uarch import FAULT_SITES, FaultPlan, FaultSpec, QuMAv2
 
 DEFAULT_SEED_COUNT = 25
 SEED_COUNT = int(os.environ.get("EQASM_FUZZ_SEEDS", DEFAULT_SEED_COUNT))
@@ -56,6 +57,11 @@ ENGINE_MIX: Counter = Counter()
 #: ``clifford_only`` shape must land on the stabilizer tableau, every
 #: other case on the dense matrix, identically on both engines.
 BACKEND_MIX: Counter = Counter()
+
+#: Chaos-shape aggregate (same reporting path): how each fuzz case
+#: under fault injection resolved — recovered via the degradation
+#: ladder, survived with nothing fired, or aborted structurally.
+CHAOS_MIX: Counter = Counter()
 
 
 def clifford_only_noise() -> NoiseModel:
@@ -310,3 +316,65 @@ def test_interpreter_and_replay_are_equivalent(seed):
     if mock_plan:
         assert (interpreter.measurement_unit.remaining_mock_results(2) ==
                 replay.measurement_unit.remaining_mock_results(2))
+
+
+#: Sites the chaos shape draws from.  ``snapshot_corrupt`` is omitted
+#: here: nothing on the execution hot path restores plant snapshots,
+#: so the site is covered at the plant API level in test_faults.py.
+CHAOS_SITES = ("backend_gate", "measurement_stall", "timing_overflow",
+               "tree_bitflip", "mock_exhaust")
+
+CHAOS_SHOTS = 40
+
+
+@pytest.mark.parametrize("seed", range(SEED_COUNT))
+def test_fault_injection_chaos(seed):
+    """Random programs x random fault plans, self-verifying replay on.
+
+    The hardened stack's contract under chaos: every run either
+    delivers all shots (degradation ladder, recorded rungs) or aborts
+    with a *structured* :class:`EQASMError` — never silent corruption,
+    never a bare non-library exception — and a disarmed re-run of the
+    same program is healthy again (no degradations, every audit
+    clean).
+    """
+    text, mock_plan, clifford_only = generate_case(seed)
+    noise = clifford_only_noise() if clifford_only else NoiseModel()
+    rng = np.random.default_rng(77_000 + seed)
+    site = CHAOS_SITES[int(rng.integers(len(CHAOS_SITES)))]
+    shot = int(rng.integers(0, 20)) if rng.random() < 0.7 else None
+    setup = ExperimentSetup.create(noise=noise, seed=30_000 + seed,
+                                   audit_fraction=1.0)
+    if mock_plan:
+        setup.machine.measurement_unit.inject_mock_results(2, mock_plan)
+    assembled = setup.assemble_text(text)
+    plan = FaultPlan([FaultSpec(site, shot=shot)], seed=seed)
+    setup.machine.arm_faults(plan)
+    try:
+        traces = setup.run_resilient(assembled, CHAOS_SHOTS,
+                                     policy=RetryPolicy(max_attempts=3))
+    except TimingViolationError:
+        CHAOS_MIX["timing-violation"] += 1
+        return
+    except EQASMError:
+        # The ladder ran out of rungs: an abort is acceptable, but it
+        # must be the structured kind (anything else propagates and
+        # fails the test).
+        CHAOS_MIX[f"aborted ({site})"] += 1
+    else:
+        assert len(traces) == CHAOS_SHOTS
+        CHAOS_MIX[(f"recovered ({site})" if plan.records
+                   else "fault never fired")] += 1
+
+    # Recovery: disarm, reset caches and queues, re-run clean.
+    setup.machine.disarm_faults()
+    setup.machine.clear_replay_cache()
+    setup.machine.measurement_unit.clear_mock_results()
+    if mock_plan:
+        setup.machine.measurement_unit.inject_mock_results(2, mock_plan)
+    clean = setup.run_resilient(assembled, CHAOS_SHOTS)
+    assert len(clean) == CHAOS_SHOTS
+    stats = setup.machine.engine_stats
+    assert stats.audit_divergences == 0
+    assert not stats.degradations
+    assert not stats.faults_injected

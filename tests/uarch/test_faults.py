@@ -1,0 +1,396 @@
+"""Chaos suite: every fault-injection site, end to end.
+
+For each site of :data:`repro.uarch.faults.FAULT_SITES` the suite
+proves the full hardening contract:
+
+1. **detection** — the injected failure surfaces as the documented
+   structured error (or degradation) instead of silent corruption;
+2. **context** — the error carries its machine-readable context keys;
+3. **ladder** — :meth:`ExperimentSetup.run_resilient` degrades onto
+   the next rung and still delivers every shot;
+4. **recovery** — a clean re-run after disarming is healthy again.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Assembler, two_qubit_instantiation
+from repro.core.errors import (
+    BackendFaultError,
+    ConfigurationError,
+    EQASMError,
+    GuardFault,
+    QueueOverflowError,
+    ResourceError,
+    RuntimeFault,
+    ShotTimeoutError,
+)
+from repro.experiments.runner import ExperimentSetup, RetryPolicy
+from repro.quantum import NoiseModel, QuantumPlant
+from repro.uarch import (
+    FAULT_SITES,
+    FaultPlan,
+    FaultSpec,
+    QuMAv2,
+    UarchConfig,
+)
+
+ACTIVE_RESET = """
+SMIS S2, {2}
+QWAIT 10000
+X90 S2
+MEASZ S2
+QWAIT 50
+C_X S2
+MEASZ S2
+STOP
+"""
+
+CFC_FMR = """
+SMIS S2, {2}
+X S2
+MEASZ S2
+FMR R1, Q2
+STOP
+"""
+
+
+def make_machine(text=ACTIVE_RESET, seed=0, config=None,
+                 audit_fraction=0.0):
+    isa = two_qubit_instantiation()
+    plant = QuantumPlant(isa.topology, noise=NoiseModel(),
+                         rng=np.random.default_rng(seed))
+    machine = QuMAv2(isa, plant, config=config,
+                     audit_fraction=audit_fraction)
+    machine.load(Assembler(isa).assemble_text(text))
+    return machine
+
+
+def make_setup(seed=0, **kwargs):
+    return ExperimentSetup.create(noise=NoiseModel(), seed=seed,
+                                  **kwargs)
+
+
+class TestFaultPlan:
+    """The deterministic schedule itself."""
+
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpec("warp_core_breach")
+
+    def test_nonpositive_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpec("backend_gate", count=0)
+
+    def test_shot_pinning_and_budget(self):
+        plan = FaultPlan([FaultSpec("backend_gate", shot=2, count=1)])
+        plan.begin_run()
+        plan.begin_shot(0)
+        assert not plan.fire("backend_gate")
+        plan.begin_shot(2)
+        assert plan.would_fire("backend_gate")
+        assert plan.fire("backend_gate", qubit=2)
+        # Budget consumed: the same site never fires again.
+        assert not plan.fire("backend_gate")
+        assert plan.fired_this_run
+        [record] = plan.records
+        assert record.site == "backend_gate" and record.shot == 2
+        assert ("qubit", 2) in record.context
+        assert "backend_gate@shot2" in record.describe()
+
+    def test_every_site_is_armable(self):
+        plan = FaultPlan([FaultSpec(site) for site in FAULT_SITES])
+        for site in FAULT_SITES:
+            assert plan.armed(site)
+
+
+class TestBackendGateFault:
+    def test_detection_and_context(self):
+        machine = make_machine()
+        machine.arm_faults(FaultPlan([FaultSpec("backend_gate",
+                                                shot=0)]))
+        with pytest.raises(BackendFaultError) as info:
+            machine.run(5)
+        error = info.value
+        assert error.backend == "dense"
+        assert error.site == "backend_gate"
+        assert error.operation  # the faulting gate name
+        assert isinstance(error, RuntimeFault)  # old catchers survive
+        # The poisoned tree never reaches the cross-run cache.
+        assert not machine._tree_cache
+        assert machine.engine_stats.faults_injected
+
+    def test_ladder_and_recovery(self):
+        setup = make_setup()
+        assembled = setup.assemble_text(ACTIVE_RESET)
+        setup.machine.arm_faults(FaultPlan([FaultSpec("backend_gate",
+                                                      shot=0)]))
+        traces = setup.run_resilient(assembled, 20)
+        assert len(traces) == 20
+        assert setup.last_engine_stats.degradations
+        assert setup.machine.plant_backend_policy == "auto"  # restored
+        setup.machine.disarm_faults()
+        clean = setup.run_resilient(assembled, 20)
+        assert len(clean) == 20
+        assert not setup.last_engine_stats.degradations
+
+
+class TestSnapshotCorruptFault:
+    def test_detection_and_context(self):
+        isa = two_qubit_instantiation()
+        plant = QuantumPlant(isa.topology, noise=NoiseModel(),
+                             rng=np.random.default_rng(0))
+        snapshot = plant.snapshot()
+        plant.fault_plan = FaultPlan([FaultSpec("snapshot_corrupt")])
+        with pytest.raises(BackendFaultError) as info:
+            plant.restore(snapshot)
+        error = info.value
+        assert error.backend == "dense"
+        assert error.operation == "restore"
+        assert error.site == "snapshot_corrupt"
+
+    def test_recovery_after_disarm(self):
+        isa = two_qubit_instantiation()
+        plant = QuantumPlant(isa.topology, noise=NoiseModel(),
+                             rng=np.random.default_rng(0))
+        snapshot = plant.snapshot()
+        plant.fault_plan = FaultPlan([FaultSpec("snapshot_corrupt")])
+        with pytest.raises(BackendFaultError):
+            plant.restore(snapshot)
+        plant.fault_plan = None
+        # An untampered snapshot restores fine afterwards.
+        plant.restore(plant.snapshot())
+
+    def test_stabilizer_digest_detects_corruption(self):
+        from repro.quantum.stabilizer import StabilizerBackend
+        backend = StabilizerBackend(2)
+        snapshot = backend.snapshot()
+        digest = backend.state_digest(snapshot)
+        backend.corrupt_snapshot(snapshot, np.random.default_rng(1))
+        assert backend.state_digest(snapshot) != digest
+
+
+class TestMeasurementStallFault:
+    def test_detection_and_context(self):
+        machine = make_machine(CFC_FMR)
+        machine.arm_faults(FaultPlan([FaultSpec("measurement_stall",
+                                                shot=1)]))
+        with pytest.raises(ShotTimeoutError) as info:
+            machine.run(3, use_replay=False)
+        error = info.value
+        assert error.qubit == 2
+        assert error.register == 1
+        assert "waits forever" in str(error)
+
+    def test_ladder_and_recovery(self):
+        setup = make_setup()
+        assembled = setup.assemble_text(CFC_FMR)
+        # One stall, then healthy: the interpreter-only retry succeeds
+        # because the fault budget is consumed on the first attempt.
+        setup.machine.arm_faults(
+            FaultPlan([FaultSpec("measurement_stall", shot=0)]))
+        traces = setup.run_resilient(assembled, 10)
+        assert len(traces) == 10
+        assert any("ShotTimeoutError" in step for step in
+                   setup.last_engine_stats.degradations)
+
+
+class TestTimingOverflowFault:
+    def test_detection_and_context(self):
+        machine = make_machine()
+        machine.arm_faults(FaultPlan([FaultSpec("timing_overflow",
+                                                shot=0)]))
+        with pytest.raises(QueueOverflowError) as info:
+            machine.run(2)
+        error = info.value
+        assert error.queue == "timing"
+        assert error.depth == machine.config.timing_queue_depth
+        assert error.occupancy >= 0
+
+    def test_ladder_and_recovery(self):
+        setup = make_setup()
+        assembled = setup.assemble_text(ACTIVE_RESET)
+        setup.machine.arm_faults(
+            FaultPlan([FaultSpec("timing_overflow", shot=0)]))
+        traces = setup.run_resilient(assembled, 10)
+        assert len(traces) == 10
+        setup.machine.disarm_faults()
+        assert len(setup.run_resilient(assembled, 10)) == 10
+
+
+class TestTreeBitflipFault:
+    def test_audit_detects_and_recovers(self):
+        machine = make_machine(audit_fraction=1.0, seed=3)
+        machine.run(50)  # grow + cache the tree
+        machine.arm_faults(FaultPlan([FaultSpec("tree_bitflip")],
+                                     seed=9))
+        traces = machine.run(120)
+        stats = machine.engine_stats
+        # The sweep never crashes; the corruption is detected by the
+        # shadow audit, reported, and the tree evicted from the
+        # cross-run cache.
+        assert len(traces) == 120
+        assert stats.audit_divergences >= 1
+        assert stats.last_audit is not None
+        assert stats.last_audit.tree_evicted
+        assert stats.last_audit.mismatched_fields
+        assert stats.degradations
+        assert any("tree_bitflip" in fault
+                   for fault in stats.faults_injected)
+        assert not machine._tree_cache
+        # Clean recovery: disarm, re-run, audits all pass.
+        machine.disarm_faults()
+        machine.run(50)
+        assert machine.engine_stats.audit_divergences == 0
+
+    def test_unaudited_bitflip_still_evicts_cache(self):
+        # Without auditing the corruption cannot be *detected*, but the
+        # end-of-run hygiene still drops the tampered tree so it cannot
+        # leak into later runs.
+        machine = make_machine(seed=3)
+        machine.run(50)
+        machine.arm_faults(FaultPlan([FaultSpec("tree_bitflip")],
+                                     seed=9))
+        machine.run(20)
+        assert not machine._tree_cache
+
+
+class TestMockExhaustFault:
+    def test_run_falls_through_to_plant_and_recovers(self):
+        machine = make_machine()
+        machine.measurement_unit.inject_mock_results(2, [1] * 6)
+        machine.arm_faults(FaultPlan([FaultSpec("mock_exhaust",
+                                                shot=1)]))
+        traces = machine.run(6, use_replay=False)
+        assert len(traces) == 6
+        stats = machine.engine_stats
+        assert any("mock_exhaust" in fault
+                   for fault in stats.faults_injected)
+        # The queue was wiped mid-run: everything queued is gone and
+        # later measurements sampled the real plant.
+        assert machine.measurement_unit.remaining_mock_results(2) == 0
+        # Recovery: re-injection works and drains normally.
+        machine.disarm_faults()
+        machine.measurement_unit.inject_mock_results(2, [0, 1])
+        machine.run(1, use_replay=False)
+        assert machine.measurement_unit.remaining_mock_results(2) == 0
+
+
+class TestAdmissionControl:
+    def test_dense_request_past_budget_fails_fast(self):
+        from repro.core.isa import seventeen_qubit_instantiation
+        isa = seventeen_qubit_instantiation()
+        plant = QuantumPlant(isa.topology,
+                             noise=NoiseModel.noiseless(),
+                             rng=np.random.default_rng(0))
+        with pytest.raises(ResourceError) as info:
+            plant.check_admission("dense")
+        error = info.value
+        assert error.requested_bytes == 16 * 4 ** 17
+        assert error.limit_bytes == plant.memory_limit_bytes
+        assert error.num_qubits == 17
+        assert "stabilizer" in error.suggestion
+
+    def test_surface17_dense_pin_raises_with_hint(self):
+        from repro.experiments.surface_code import \
+            run_surface17_experiment
+        with pytest.raises(ResourceError) as info:
+            run_surface17_experiment(rounds=1, shots=1,
+                                     plant_backend="dense")
+        assert "plant_backend='stabilizer'" in info.value.suggestion
+
+    def test_ladder_degrades_resource_error_to_stabilizer(self):
+        from repro.core.isa import seventeen_qubit_instantiation
+        setup = ExperimentSetup.create(
+            isa=seventeen_qubit_instantiation(),
+            noise=NoiseModel.noiseless(), seed=1,
+            plant_backend="dense")
+        assembled = setup.assemble_text("""
+SMIS S0, {0}
+X S0
+MEASZ S0
+QWAIT 50
+STOP
+""")
+        traces = setup.run_resilient(assembled, 5)
+        assert len(traces) == 5
+        assert setup.last_plant_backend == "stabilizer"
+        assert any("stabilizer" in step for step in
+                   setup.last_engine_stats.degradations)
+        # The caller's configured pin is restored afterwards.
+        assert setup.machine.plant_backend_policy == "dense"
+
+
+class TestShotTimeBudget:
+    def test_watchdog_fires_with_context(self):
+        machine = make_machine(
+            config=UarchConfig(shot_time_budget_ns=40.0))
+        with pytest.raises(ShotTimeoutError) as info:
+            machine.run_shot()
+        error = info.value
+        assert error.budget_ns == 40.0
+        assert error.elapsed_ns > 40.0
+
+    def test_instruction_limit_is_structured(self):
+        machine = make_machine()
+        with pytest.raises(ShotTimeoutError) as info:
+            machine.run_shot(max_instructions=3)
+        assert info.value.limit == 3
+        # Backward compatible with the old bare RuntimeFault catchers.
+        assert isinstance(info.value, RuntimeFault)
+
+    def test_invalid_budget_rejected(self):
+        with pytest.raises(ConfigurationError):
+            UarchConfig(shot_time_budget_ns=0.0)
+
+
+class TestReplayAudit:
+    def test_full_audit_is_divergence_free(self):
+        machine = make_machine(audit_fraction=1.0, seed=7)
+        machine.run(150)
+        stats = machine.engine_stats
+        assert stats.replay_audits > 0
+        assert stats.replay_audits == stats.segment_cache_hits
+        assert stats.audit_divergences == 0
+        assert stats.last_audit is not None
+        assert stats.last_audit.mismatched_fields == ()
+
+    def test_fractional_audit_cadence(self):
+        machine = make_machine(audit_fraction=0.1, seed=7)
+        machine.run(300)
+        stats = machine.engine_stats
+        expected = int(stats.segment_cache_hits * 0.1)
+        assert abs(stats.replay_audits - expected) <= 1
+
+    def test_audit_preserves_mock_queue_alignment(self):
+        machine = make_machine(audit_fraction=1.0, seed=5)
+        machine.measurement_unit.inject_mock_results(
+            2, [1, 0] * 20)
+        machine.run(10)
+        # 2 measurements per shot, 10 shots: exactly 20 consumed
+        # whether a shot replayed (view commit) or was shadow-run
+        # (natural consumption) — never double-drained.
+        assert machine.measurement_unit.remaining_mock_results(2) == 20
+
+    def test_invalid_fraction_rejected(self):
+        isa = two_qubit_instantiation()
+        plant = QuantumPlant(isa.topology, noise=NoiseModel(),
+                             rng=np.random.default_rng(0))
+        with pytest.raises(ConfigurationError):
+            QuMAv2(isa, plant, audit_fraction=1.5)
+
+
+class TestGuardFaultHierarchy:
+    def test_context_attribute_access(self):
+        error = GuardFault("boom", qubit=3, depth=7)
+        assert error.qubit == 3
+        assert error.context == {"qubit": 3, "depth": 7}
+        with pytest.raises(AttributeError):
+            error.missing_key
+
+    def test_all_guards_are_eqasm_errors(self):
+        for cls in (ResourceError, ShotTimeoutError, BackendFaultError,
+                    QueueOverflowError):
+            assert issubclass(cls, GuardFault)
+            assert issubclass(cls, RuntimeFault)
+            assert issubclass(cls, EQASMError)
