@@ -1,0 +1,256 @@
+"""E16 — crash-safe sweep serving: concurrent throughput and tail
+latency of :class:`repro.serving.SweepService`.
+
+Mixed workload traffic — a Rabi amplitude scan and a Ramsey-style
+delay scan submitted back to back — served over the supervised worker
+pool, measured three ways:
+
+* end-to-end sweep throughput (points/sec through submit -> journal ->
+  stream) against a single-process inline baseline;
+* per-point execution latency distribution (p50 / p99) as reported by
+  the workers' own telemetry;
+* chaos-recovery overhead: the same sweep with ``worker_crash`` +
+  ``worker_hang`` faults armed, gated on the recovered distribution
+  being bit-identical to the fault-free one.
+
+Runs two ways:
+
+* under pytest (``pytest benchmarks/bench_sweep_service.py``) as a
+  regression gate on completion and chaos bit-identity;
+* as a script (``python benchmarks/bench_sweep_service.py [--shots N]
+  [--points N] [--workers N] [--check]
+  [--output BENCH_sweep_service.json]``) — the recorded numbers live
+  in ``BENCH_sweep_service.json`` at the repository root.
+"""
+
+import argparse
+import json
+import math
+import sys
+import time
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # script mode without PYTHONPATH=src
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.isa import two_qubit_instantiation
+from repro.core.operations import (
+    add_rabi_amplitude_operations,
+    default_operation_set,
+)
+from repro.experiments.runner import ExperimentSetup
+from repro.quantum.noise import NoiseModel
+from repro.serving import (
+    ServiceConfig,
+    SweepService,
+    SweepSpec,
+    execute_point,
+)
+from repro.uarch.faults import FaultPlan, FaultSpec
+from repro.workloads.rabi import rabi_step_circuit
+
+MAX_STEPS = 16
+
+#: Ramsey-style scan: two X90 pulses separated by a swept idle delay
+#: (T2 dephasing makes the excited-state probability delay-dependent).
+RAMSEY_TEMPLATE = """
+SMIS S2, {2}
+QWAIT 10000
+X90 S2
+QWAIT %d
+X90 S2
+MEASZ S2
+QWAIT 50
+STOP
+"""
+
+
+def build_setup() -> ExperimentSetup:
+    operations = default_operation_set()
+    add_rabi_amplitude_operations(operations, MAX_STEPS,
+                                  max_angle=2.0 * math.pi)
+    isa = two_qubit_instantiation(operations)
+    return ExperimentSetup.create(isa=isa, noise=NoiseModel(), seed=0)
+
+
+def build_rabi_program(setup, params):
+    return setup.compile_circuit(
+        rabi_step_circuit(params["step"], qubit=2))
+
+
+def build_ramsey_program(setup, params):
+    return setup.assemble_text(RAMSEY_TEMPLATE % params["delay"])
+
+
+def make_specs(points: int, shots: int) -> list[SweepSpec]:
+    """The mixed traffic: one compiled-circuit sweep, one hand-written
+    assembly sweep, submitted back to back."""
+    rabi = SweepSpec.from_params(
+        name="bench-rabi", shots=shots, seed=101,
+        params=[{"step": step} for step in range(points)],
+        setup_factory=build_setup,
+        program_factory=build_rabi_program)
+    ramsey = SweepSpec.from_params(
+        name="bench-ramsey", shots=shots, seed=202,
+        params=[{"delay": 200 + 400 * step} for step in range(points)],
+        setup_factory=build_setup,
+        program_factory=build_ramsey_program)
+    return [rabi, ramsey]
+
+
+def service_config(workers: int, chaos: bool = False) -> ServiceConfig:
+    supervision = (dict(heartbeat_timeout_s=1.0, point_deadline_s=1.0,
+                        hang_sleep_s=30.0, max_restarts=16)
+                   if chaos else {})
+    return ServiceConfig(num_workers=workers, shard_size=2,
+                         poll_interval_s=0.005, drain_timeout_s=10.0,
+                         **supervision)
+
+
+def percentile(values: list[float], fraction: float) -> float:
+    ordered = sorted(values)
+    return ordered[min(len(ordered) - 1,
+                       int(fraction * (len(ordered) - 1) + 0.5))]
+
+
+def run_benchmark(shots: int = 200, points: int = 8,
+                  workers: int = 2) -> dict:
+    specs = make_specs(points, shots)
+
+    # Inline single-process baseline (also the bit-identity reference).
+    setup = build_setup()
+    start = time.perf_counter()
+    expected = {
+        spec.name: {index: execute_point(setup, spec,
+                                         spec.point(index))[0]
+                    for index in range(spec.num_points)}
+        for spec in specs}
+    inline_s = time.perf_counter() - start
+
+    # Mixed traffic through the service.
+    service = SweepService(service_config(workers))
+    for spec in specs:
+        service.submit(spec)
+    start = time.perf_counter()
+    results = list(service.serve())
+    service_s = time.perf_counter() - start
+
+    total_points = sum(spec.num_points for spec in specs)
+    served = {spec.name: {} for spec in specs}
+    for result in results:
+        served[result.sweep][result.index] = result
+    identical = all(
+        {i: r.counts for i, r in served[spec.name].items()}
+        == expected[spec.name]
+        for spec in specs)
+    latencies = [result.latency_s for result in results]
+
+    # Chaos-recovery overhead on the Rabi sweep alone.
+    rabi = specs[0]
+    plan = FaultPlan([FaultSpec("worker_crash", shot=1),
+                      FaultSpec("worker_hang", shot=points // 2),
+                      FaultSpec("result_drop", shot=points - 1)])
+    chaos_service = SweepService(service_config(workers, chaos=True),
+                                 fault_plan=plan)
+    start = time.perf_counter()
+    chaos_result = chaos_service.run_sweep(rabi)
+    chaos_s = time.perf_counter() - start
+    chaos_identical = (chaos_result.counts_by_index()
+                       == expected[rabi.name])
+    chaos_stats = chaos_service.stats_snapshot()
+
+    return {
+        "benchmark": "bench_sweep_service",
+        "description": "supervised sweep serving: mixed-traffic "
+                       "throughput, point-latency tail, and "
+                       "chaos-recovery overhead",
+        "shots": shots,
+        "points_per_sweep": points,
+        "workers": workers,
+        "mixed_traffic": {
+            "total_points": total_points,
+            "points_completed": len(results),
+            "bit_identical_to_inline": identical,
+            "inline_points_per_sec": round(total_points / inline_s, 2),
+            "service_points_per_sec": round(
+                total_points / service_s, 2),
+            "service_vs_inline": round(inline_s / service_s, 2),
+            "point_latency_p50_ms": round(
+                1e3 * percentile(latencies, 0.50), 2),
+            "point_latency_p99_ms": round(
+                1e3 * percentile(latencies, 0.99), 2),
+        },
+        "chaos_recovery": {
+            "bit_identical": chaos_identical,
+            "faults_injected": list(chaos_stats.chaos_directives),
+            "worker_restarts": chaos_stats.worker_restarts,
+            "points_redispatched": chaos_stats.points_redispatched,
+            "fault_free_s": round(service_s, 3),
+            "recovered_s": round(chaos_s, 3),
+        },
+    }
+
+
+def check(result: dict) -> list[str]:
+    """The gates: completion and bit-identity (throughput is recorded,
+    not gated — supervision overhead is workload- and box-dependent)."""
+    failures = []
+    mixed = result["mixed_traffic"]
+    if mixed["points_completed"] != mixed["total_points"]:
+        failures.append(
+            f"only {mixed['points_completed']}/"
+            f"{mixed['total_points']} points completed")
+    if not mixed["bit_identical_to_inline"]:
+        failures.append("service counts diverge from the inline run")
+    chaos = result["chaos_recovery"]
+    if not chaos["bit_identical"]:
+        failures.append("chaos-recovered counts diverge from the "
+                        "fault-free run")
+    if len(chaos["faults_injected"]) != 3:
+        failures.append(f"expected 3 injected faults, got "
+                        f"{chaos['faults_injected']}")
+    return failures
+
+
+# ----------------------------------------------------------------------
+# pytest entry points
+# ----------------------------------------------------------------------
+def test_mixed_traffic_and_chaos_recovery():
+    result = run_benchmark(shots=40, points=4)
+    print(f"\n{json.dumps(result, indent=2)}")
+    assert not check(result)
+
+
+# ----------------------------------------------------------------------
+# script entry point
+# ----------------------------------------------------------------------
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--shots", type=int, default=200)
+    parser.add_argument("--points", type=int, default=8)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--check", action="store_true",
+                        help="exit non-zero unless completion and "
+                             "bit-identity gates pass")
+    parser.add_argument("--output", type=Path, default=None,
+                        help="write the result JSON to this path")
+    args = parser.parse_args()
+    result = run_benchmark(shots=args.shots, points=args.points,
+                           workers=args.workers)
+    print(json.dumps(result, indent=2))
+    if args.output is not None:
+        args.output.write_text(json.dumps(result, indent=2) + "\n")
+        print(f"wrote {args.output}")
+    if args.check:
+        failures = check(result)
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        if failures:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -142,6 +142,33 @@ class QueueOverflowError(GuardFault):
     """
 
 
+class JobDeadlineError(GuardFault):
+    """A serving-layer job (a sweep, or one of its shards) exceeded its
+    deadline — the work was stopped and accounted for rather than left
+    running unbounded.
+
+    Context: ``deadline_s``, ``elapsed_s``, ``completed_points``,
+    ``total_points``.
+    """
+
+
+class AdmissionRejectedError(GuardFault):
+    """A bounded serving queue refused new work at submission time —
+    backpressure instead of unbounded memory growth.
+
+    Context: ``queue``, ``depth``, ``occupancy``.
+    """
+
+
+class WorkerPoolError(GuardFault):
+    """The worker-pool supervisor gave up on a sweep: the restart
+    budget was exhausted by repeated crashes or hangs, so continuing
+    would retry a systematically failing shard forever.
+
+    Context: ``restarts``, ``budget``, ``last_event``.
+    """
+
+
 class InvalidRequestError(EQASMError, ValueError):
     """A caller-supplied argument is outside the valid domain.
 

@@ -8,6 +8,7 @@ QuMA v2 instruction memory and executed against the plant for N shots.
 
 from __future__ import annotations
 
+import hashlib
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -50,20 +51,59 @@ _PROGRAM_CACHE_CAPACITY = 128
 class RetryPolicy:
     """Retry/backoff policy for :meth:`ExperimentSetup.run_resilient`.
 
-    ``max_attempts`` bounds the total executions (first try included);
-    ``backoff_s`` sleeps between attempts — zero by default, since the
-    simulator's failures are deterministic, but sweeps driving external
-    resources can ask for real backoff.
+    ``max_attempts`` bounds the total executions (first try included).
+    ``backoff_s`` is the *base* delay of a capped exponential backoff:
+    retry ``n`` waits ``backoff_s * backoff_multiplier**(n-1)``
+    seconds, clamped to ``backoff_cap_s``, with a deterministic
+    ``jitter`` fraction derived from ``seed`` (so two policies with
+    the same seed sleep identically — retries stay reproducible, while
+    distinct seeds decorrelate a fleet of workers hammering a shared
+    resource).  The default base of zero keeps the historical
+    zero-sleep behaviour: the simulator's failures are deterministic,
+    so only sweeps driving external resources ask for real backoff.
     """
 
     max_attempts: int = 3
     backoff_s: float = 0.0
+    backoff_cap_s: float = 30.0
+    backoff_multiplier: float = 2.0
+    jitter: float = 0.1
+    seed: int = 0
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
             raise ConfigurationError("max_attempts must be at least 1")
         if self.backoff_s < 0:
             raise ConfigurationError("backoff_s must be non-negative")
+        if self.backoff_cap_s < 0:
+            raise ConfigurationError(
+                "backoff_cap_s must be non-negative")
+        if self.backoff_multiplier < 1.0:
+            raise ConfigurationError(
+                "backoff_multiplier must be at least 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ConfigurationError("jitter must lie in [0, 1]")
+
+    def delay_for(self, attempt: int) -> float:
+        """Deterministic sleep before retrying after failed attempt
+        ``attempt`` (1-based).
+
+        Zero whenever ``backoff_s`` is zero.  Otherwise the capped
+        exponential above, scaled by ``1 + jitter * u`` where ``u`` in
+        ``[-1, 1)`` is a pure function of ``(seed, attempt)`` — no
+        global RNG state is consumed, so the schedule is reproducible
+        and side-effect free.
+        """
+        if self.backoff_s <= 0.0:
+            return 0.0
+        delay = self.backoff_s * self.backoff_multiplier ** (attempt - 1)
+        delay = min(delay, self.backoff_cap_s)
+        if self.jitter:
+            digest = hashlib.sha256(
+                f"eqasm-backoff:{self.seed}:{attempt}".encode()).digest()
+            unit = int.from_bytes(digest[:8], "big") / 2.0 ** 64
+            delay *= 1.0 + self.jitter * (2.0 * unit - 1.0)
+        return min(delay, self.backoff_cap_s)
 
 
 @dataclass
@@ -243,11 +283,13 @@ class ExperimentSetup:
                     if rung is None:
                         raise
                     step, use_replay = rung
+                    delay = policy.delay_for(attempt + 1)
                     degradations.append(
                         f"attempt {attempt + 1}: "
-                        f"{type(error).__name__} -> {step}")
-                    if policy.backoff_s:
-                        time.sleep(policy.backoff_s)
+                        f"{type(error).__name__} -> {step}"
+                        + (f" (backoff {delay:.3f}s)" if delay else ""))
+                    if delay:
+                        time.sleep(delay)
                     continue
                 stats = machine.engine_stats
                 stats.degradations[:0] = degradations

@@ -1,0 +1,229 @@
+"""Append-only checkpoint journal for crash-safe sweeps.
+
+One JSON record per line; every record carries a SHA-256 ``digest`` of
+its canonical serialization, so corruption — a torn write from a
+killed process, a truncated disk flush, a flipped bit — is *detected*,
+never silently replayed.  The first record is a header binding the
+journal to a :class:`~repro.serving.sweep.SweepSpec` fingerprint;
+resuming a journal against a different sweep is an integrity error,
+not a garbage result.
+
+Recovery contract (pinned by the truncation property test):
+
+* the loader accepts exactly the longest valid prefix of records — it
+  stops at the first unparsable line, digest mismatch, or newline-less
+  tail, drops everything from there on
+  (:attr:`CheckpointJournal.torn_records_dropped` counts them), and
+  truncates the file back to the end of the valid prefix so appended
+  records never hide behind garbage;
+* duplicate point records (a re-dispatched point whose first result
+  arrived after all) must agree bit-for-bit with the first — exactly
+  the per-point purity invariant — or the journal refuses to load;
+* a record for a point the spec does not have, or with a seed the spec
+  would not derive, is an integrity error (the journal belongs to a
+  different sweep).
+
+Durability: records are flushed to the OS on every append (surviving
+process crashes, including SIGKILL); ``fsync=True`` additionally syncs
+to stable storage per record for machine-crash durability at a
+throughput cost.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Mapping
+
+from repro.core.errors import ExperimentIntegrityError
+from repro.serving.sweep import SweepSpec
+
+JOURNAL_VERSION = 1
+
+
+def record_digest(record: Mapping) -> str:
+    """SHA-256 of the canonical JSON of ``record`` (sans ``digest``)."""
+    body = {key: value for key, value in record.items()
+            if key != "digest"}
+    canonical = json.dumps(body, sort_keys=True,
+                           separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+class CheckpointJournal:
+    """Single-writer append-only journal of completed sweep points.
+
+    The service owns the writer end (one process, append-only); any
+    number of readers may :meth:`load` a journal that belongs to a
+    finished or crashed service.
+    """
+
+    def __init__(self, path, fsync: bool = False):
+        self.path = Path(path)
+        self.fsync = fsync
+        self._file = None
+        #: Records dropped by the last :meth:`load` because of a torn
+        #: or corrupt suffix.
+        self.torn_records_dropped = 0
+        #: Duplicate point records ignored by the last :meth:`load`.
+        self.duplicates_ignored = 0
+
+    # ------------------------------------------------------------------
+    # Loading / recovery
+    # ------------------------------------------------------------------
+    def _scan(self) -> tuple[list[dict], int, int]:
+        """Parse the longest valid record prefix.
+
+        Returns ``(records, valid_end_byte, dropped)`` — the loader
+        stops at the first invalid line; everything after it is
+        untrusted (records are appended in order, so a corrupt record
+        means the suffix postdates the corruption event).
+        """
+        if not self.path.exists():
+            return [], 0, 0
+        data = self.path.read_bytes()
+        records: list[dict] = []
+        valid_end = 0
+        position = 0
+        dropped = 0
+        while position < len(data):
+            newline = data.find(b"\n", position)
+            if newline == -1:
+                dropped += 1  # torn tail: no terminating newline
+                break
+            line = data[position:newline]
+            try:
+                record = json.loads(line.decode("utf-8"))
+                if not isinstance(record, dict):
+                    raise ValueError("record is not an object")
+                if record.get("digest") != record_digest(record):
+                    raise ValueError("digest mismatch")
+            except (ValueError, UnicodeDecodeError):
+                # This record and everything after it is untrusted.
+                dropped += 1 + data.count(b"\n", newline + 1)
+                if not data.endswith(b"\n"):
+                    dropped += 1
+                break
+            records.append(record)
+            valid_end = newline + 1
+            position = newline + 1
+        return records, valid_end, dropped
+
+    def load(self, spec: SweepSpec) -> dict[int, dict]:
+        """Validate the journal against ``spec`` and open for append.
+
+        Returns the completed point payloads keyed by index (empty for
+        a fresh journal).  The file is truncated back to its valid
+        prefix, the header written if absent, and the append handle
+        left open for :meth:`append_point`.
+        """
+        records, valid_end, dropped = self._scan()
+        self.torn_records_dropped = dropped
+        self.duplicates_ignored = 0
+
+        completed: dict[int, dict] = {}
+        if records:
+            header = records[0]
+            if header.get("kind") != "header":
+                raise ExperimentIntegrityError(
+                    f"journal {self.path} does not start with a header "
+                    f"record",
+                    path=str(self.path), first_kind=header.get("kind"))
+            if header.get("version") != JOURNAL_VERSION:
+                raise ExperimentIntegrityError(
+                    f"journal {self.path} has version "
+                    f"{header.get('version')}, expected "
+                    f"{JOURNAL_VERSION}",
+                    path=str(self.path), version=header.get("version"))
+            if header.get("fingerprint") != spec.fingerprint():
+                raise ExperimentIntegrityError(
+                    f"journal {self.path} belongs to a different sweep "
+                    f"(fingerprint mismatch — same name is not enough: "
+                    f"points, shots, and seed must all agree)",
+                    path=str(self.path), sweep=spec.name,
+                    journal_sweep=header.get("sweep"))
+            for record in records[1:]:
+                if record.get("kind") != "point":
+                    raise ExperimentIntegrityError(
+                        f"journal {self.path} holds an unknown record "
+                        f"kind {record.get('kind')!r}",
+                        path=str(self.path), kind=record.get("kind"))
+                index = int(record["index"])
+                if not 0 <= index < spec.num_points:
+                    raise ExperimentIntegrityError(
+                        f"journal {self.path} records point {index} "
+                        f"outside the sweep's {spec.num_points} points",
+                        path=str(self.path), index=index,
+                        total_points=spec.num_points)
+                if int(record["seed"]) != spec.point(index).seed:
+                    raise ExperimentIntegrityError(
+                        f"journal {self.path} point {index} has a seed "
+                        f"the sweep would not derive — wrong journal "
+                        f"for this sweep",
+                        path=str(self.path), index=index)
+                if index in completed:
+                    if record["counts"] != completed[index]["counts"]:
+                        raise ExperimentIntegrityError(
+                            f"journal {self.path} holds two conflicting "
+                            f"results for point {index} — per-point "
+                            f"determinism was violated",
+                            path=str(self.path), index=index)
+                    self.duplicates_ignored += 1
+                    continue
+                completed[index] = dict(record)
+
+        # Truncate away any torn/corrupt suffix so appended records
+        # never sit behind garbage the next loader would stop at.
+        if self.path.exists() and valid_end < self.path.stat().st_size:
+            with open(self.path, "rb+") as handle:
+                handle.truncate(valid_end)
+
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._file = open(self.path, "a", encoding="utf-8")
+        if not records:
+            self._append({
+                "kind": "header",
+                "version": JOURNAL_VERSION,
+                "sweep": spec.name,
+                "fingerprint": spec.fingerprint(),
+                "total_points": spec.num_points,
+                "shots": spec.shots,
+                "seed": spec.seed,
+            })
+        return completed
+
+    # ------------------------------------------------------------------
+    # Appending
+    # ------------------------------------------------------------------
+    def _append(self, record: dict) -> None:
+        if self._file is None:
+            raise ExperimentIntegrityError(
+                "journal is not open for append — call load() first",
+                path=str(self.path))
+        record = dict(record)
+        record["digest"] = record_digest(record)
+        self._file.write(json.dumps(record, sort_keys=True,
+                                    separators=(",", ":")) + "\n")
+        self._file.flush()
+        if self.fsync:
+            os.fsync(self._file.fileno())
+
+    def append_point(self, payload: Mapping) -> None:
+        """Journal one completed point (flushed before returning, so a
+        crash immediately after cannot lose it)."""
+        record = {"kind": "point"}
+        record.update(payload)
+        self._append(record)
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    def __enter__(self) -> "CheckpointJournal":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

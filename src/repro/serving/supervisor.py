@@ -1,0 +1,184 @@
+"""Worker-pool supervision: spawn, watch, kill, respawn.
+
+The pool is built per sweep (workers inherit the
+:class:`~repro.serving.sweep.SweepSpec` — including its factory
+callables — through a ``fork`` at spawn time, so nothing is pickled).
+Each worker slot is a :class:`WorkerHandle` owning the live process,
+its private task queue, and the supervision bookkeeping:
+
+* ``generation`` increments on every respawn, and every message a
+  worker sends carries its generation, so a straggler message from a
+  killed process can never be mistaken for the replacement's;
+* ``assignment`` is the dispatched shard's outstanding index set —
+  what must be re-dispatched if the process dies;
+* ``dispatched_at`` / ``progress_at`` drive the per-point progress
+  deadline, ``heartbeats[worker_id]`` the hang watchdog.
+
+The pool never interprets results — that (and the journal) is the
+:class:`~repro.serving.service.SweepService`'s job; the split keeps
+process lifecycle management testable on its own.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+
+from repro.serving.sweep import SweepSpec
+from repro.serving.worker import Shard, worker_main
+
+
+class WorkerHandle:
+    """One worker slot: the live process plus supervision state."""
+
+    def __init__(self, worker_id: int, spec: SweepSpec, context,
+                 result_queue, heartbeats, hang_sleep_s: float):
+        self.worker_id = worker_id
+        self.spec = spec
+        self._context = context
+        self._result_queue = result_queue
+        self._heartbeats = heartbeats
+        self._hang_sleep_s = hang_sleep_s
+        self.generation = 0
+        self.process = None
+        self.task_queue = None
+        #: Outstanding point indices of the dispatched shard (empty
+        #: set means idle).
+        self.assignment: set[int] = set()
+        self.dispatched_at: float | None = None
+        self.progress_at: float | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def spawn(self) -> None:
+        """Start a fresh process for this slot (a new generation).
+
+        A respawn always gets a new task queue: a killed worker may
+        have died holding its queue's read end mid-message, and a
+        stale shard or sentinel left in the old queue must not leak
+        into the replacement.
+        """
+        self.generation += 1
+        self.task_queue = self._context.Queue()
+        self._heartbeats[self.worker_id] = time.monotonic()
+        self.process = self._context.Process(
+            target=worker_main,
+            args=(self.worker_id, self.generation, self.spec,
+                  self.task_queue, self._result_queue,
+                  self._heartbeats, self._hang_sleep_s),
+            daemon=True,
+            name=f"sweep-worker-{self.worker_id}.{self.generation}")
+        self.process.start()
+        self.assignment = set()
+        self.dispatched_at = None
+        self.progress_at = None
+
+    def is_alive(self) -> bool:
+        return self.process is not None and self.process.is_alive()
+
+    def kill(self) -> None:
+        """SIGKILL the process (used for hangs — a hung worker by
+        definition does not respond to anything gentler)."""
+        if self.process is not None and self.process.is_alive():
+            self.process.kill()
+            self.process.join(timeout=5.0)
+
+    def request_exit(self) -> None:
+        """Send the graceful-drain sentinel."""
+        if self.task_queue is not None and self.is_alive():
+            self.task_queue.put(None)
+
+    def join(self, timeout: float) -> bool:
+        """Join the process; True when it exited within the timeout."""
+        if self.process is None:
+            return True
+        self.process.join(timeout=timeout)
+        return not self.process.is_alive()
+
+    # ------------------------------------------------------------------
+    # Dispatch / progress bookkeeping
+    # ------------------------------------------------------------------
+    @property
+    def idle(self) -> bool:
+        return not self.assignment
+
+    def dispatch(self, shard: Shard) -> None:
+        now = time.monotonic()
+        self.assignment = set(shard.indices)
+        self.dispatched_at = now
+        self.progress_at = now
+        # A worker blocked on an empty queue does not beat; restart its
+        # hang clock at dispatch so a long-idle (healthy) worker is not
+        # instantly mistaken for a hung one.
+        self._heartbeats[self.worker_id] = now
+        self.task_queue.put(shard)
+
+    def mark_progress(self, index: int) -> None:
+        self.assignment.discard(index)
+        self.progress_at = time.monotonic()
+        if not self.assignment:
+            self.dispatched_at = None
+            self.progress_at = None
+
+    def heartbeat_age(self) -> float:
+        return time.monotonic() - self._heartbeats[self.worker_id]
+
+    def progress_age(self) -> float | None:
+        if self.progress_at is None:
+            return None
+        return time.monotonic() - self.progress_at
+
+
+class WorkerPool:
+    """The fixed-size pool of worker slots for one sweep."""
+
+    def __init__(self, spec: SweepSpec, num_workers: int,
+                 hang_sleep_s: float = 3600.0):
+        self._context = multiprocessing.get_context("fork")
+        self.result_queue = self._context.Queue()
+        self.heartbeats = self._context.Array(
+            "d", num_workers, lock=False)
+        self.handles = [
+            WorkerHandle(worker_id, spec, self._context,
+                         self.result_queue, self.heartbeats,
+                         hang_sleep_s)
+            for worker_id in range(num_workers)
+        ]
+
+    def start(self) -> None:
+        for handle in self.handles:
+            handle.spawn()
+
+    def handle_for(self, worker_id: int,
+                   generation: int) -> WorkerHandle | None:
+        """The live handle a message belongs to, or None when the
+        message is a straggler from a dead generation."""
+        handle = self.handles[worker_id]
+        if handle.generation != generation:
+            return None
+        return handle
+
+    def stop(self, graceful: bool, timeout: float = 5.0) -> None:
+        """Shut the pool down.
+
+        Graceful drain sends every live worker the exit sentinel and
+        joins; anything still alive after the timeout — and everything
+        when ``graceful`` is False — is SIGKILLed.  Queues are closed
+        so their feeder threads do not outlive the pool.
+        """
+        if graceful:
+            for handle in self.handles:
+                handle.request_exit()
+            deadline = time.monotonic() + timeout
+            for handle in self.handles:
+                remaining = max(0.0, deadline - time.monotonic())
+                handle.join(remaining)
+        for handle in self.handles:
+            handle.kill()
+        for handle in self.handles:
+            if handle.task_queue is not None:
+                handle.task_queue.close()
+                handle.task_queue.cancel_join_thread()
+        self.result_queue.close()
+        self.result_queue.cancel_join_thread()

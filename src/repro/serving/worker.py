@@ -1,0 +1,109 @@
+"""Worker-process main loop of the sweep service.
+
+Each worker owns one :class:`~repro.experiments.runner.ExperimentSetup`
+(and hence one :class:`~repro.uarch.machine.QuMAv2`), built by the
+sweep's ``setup_factory`` inside the child process.  Workers receive
+:class:`Shard` messages on a private task queue, execute each point
+under the per-point purity contract
+(:func:`repro.serving.sweep.execute_point`), heartbeat into a shared
+array before every point, and report results on the shared result
+queue.  Workers hold **no durable state**: the journal lives with the
+supervisor, so a worker can die at any instruction without losing more
+than its in-flight shard's recomputation.
+
+Chaos directives (``worker_crash`` / ``worker_hang`` /
+``result_drop``) ride inside the shard message — decided
+deterministically by the supervisor's armed
+:class:`~repro.uarch.faults.FaultPlan` at dispatch time — so the
+worker code paths that die are exactly the production code paths, just
+truncated at the injected instant.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+
+from repro.serving.sweep import (
+    SweepSpec,
+    execute_point,
+    execution_payload,
+)
+
+#: Exit code of a chaos-crashed worker (mirrors SIGKILL's 128+9 so
+#: supervision treats injected and real kills identically).
+CRASH_EXIT_CODE = 137
+
+
+@dataclass(frozen=True)
+class Shard:
+    """A contiguous batch of point indices dispatched to one worker.
+
+    ``chaos`` maps point indices to an injection directive for that
+    point ("worker_crash" | "worker_hang" | "result_drop").
+    """
+
+    indices: tuple[int, ...]
+    chaos: tuple[tuple[int, str], ...] = ()
+
+
+def worker_main(worker_id: int, generation: int, spec: SweepSpec,
+                task_queue, result_queue, heartbeats,
+                hang_sleep_s: float = 3600.0) -> None:
+    """Entry point of one worker process.
+
+    Protocol: ``None`` on the task queue is the graceful-drain
+    sentinel — the worker finishes nothing further, acknowledges with
+    a ``worker_exit`` message, and returns.  Every other message is a
+    :class:`Shard`.
+    """
+    heartbeats[worker_id] = time.monotonic()
+    try:
+        setup = spec.setup_factory()
+    except Exception as error:  # noqa: BLE001 — reported, not raised
+        result_queue.put({"kind": "worker_error", "worker": worker_id,
+                          "generation": generation,
+                          "error": repr(error)})
+        return
+    while True:
+        shard = task_queue.get()
+        if shard is None:
+            result_queue.put({"kind": "worker_exit",
+                              "worker": worker_id,
+                              "generation": generation})
+            return
+        chaos = dict(shard.chaos)
+        for index in shard.indices:
+            heartbeats[worker_id] = time.monotonic()
+            directive = chaos.get(index)
+            if directive == "worker_hang":
+                # Stop heartbeating and go dark: the supervisor's
+                # watchdog must SIGKILL us.  (The sleep is bounded
+                # only so an unsupervised test cannot wedge forever.)
+                time.sleep(hang_sleep_s)
+                os._exit(CRASH_EXIT_CODE)
+            point = spec.point(index)
+            try:
+                counts, stats, latency_s = execute_point(
+                    setup, spec, point)
+            except Exception as error:  # noqa: BLE001
+                result_queue.put({
+                    "kind": "point_error", "worker": worker_id,
+                    "generation": generation, "index": index,
+                    "error": repr(error),
+                    "error_type": type(error).__name__})
+                continue
+            if directive == "worker_crash":
+                # Die after computing but before reporting: the point
+                # is lost with the process and must be re-dispatched.
+                os._exit(CRASH_EXIT_CODE)
+            if directive == "result_drop":
+                # The result message is lost in transit; the worker
+                # itself stays healthy and keeps serving the shard.
+                continue
+            result_queue.put({
+                "kind": "point", "worker": worker_id,
+                "generation": generation, "index": index,
+                "payload": execution_payload(spec, point, counts,
+                                             stats, latency_s)})

@@ -35,10 +35,34 @@ Injection sites
     (the UHFQC's fabricated-result program dying); subsequent
     measurements fall through to the real plant and the run recovers.
 
+Process-level sites (the sweep-serving layer)
+---------------------------------------------
+
+The three remaining sites fire *outside* the machine: the
+:class:`~repro.serving.service.SweepService` consults the plan while
+dispatching sweep points to its worker pool, and the matching
+directive rides along in the shard message.  For these sites the
+plan's shot index is the **sweep point index**, so chaos experiments
+pin failures to specific points exactly like shot-pinned machine
+faults.
+
+``worker_crash``
+    The worker process ``os._exit``\\ s mid-shard, after computing but
+    before reporting the pinned point — the supervisor must detect the
+    death and re-dispatch every un-journaled point of the shard.
+``worker_hang``
+    The worker stops heartbeating and sleeps — the supervisor's
+    heartbeat watchdog must SIGKILL and replace it.
+``result_drop``
+    The worker computes the pinned point but never reports it (a lost
+    result message); the shard deadline must expire and the point be
+    re-dispatched, with the journal deduplicating should the dropped
+    result somehow surface later.
+
 The plan is shared by reference: :meth:`QuMAv2.arm_faults` hands the
 same object to the plant and the measurement unit, and the machine
 advances :attr:`FaultPlan.current_shot` so all hooks agree on when to
-fire.
+fire.  (A service-held plan is advanced by the dispatcher instead.)
 """
 
 from __future__ import annotations
@@ -57,6 +81,17 @@ FAULT_SITES = (
     "timing_overflow",
     "tree_bitflip",
     "mock_exhaust",
+    "worker_crash",
+    "worker_hang",
+    "result_drop",
+)
+
+#: The subset of :data:`FAULT_SITES` fired by the serving layer (the
+#: plan's shot index means *sweep point index* for these).
+PROCESS_FAULT_SITES = (
+    "worker_crash",
+    "worker_hang",
+    "result_drop",
 )
 
 

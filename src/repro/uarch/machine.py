@@ -767,14 +767,21 @@ class QuMAv2:
         return tree, False
 
     def clear_replay_cache(self) -> None:
-        """Drop every cached cross-run timeline tree.
+        """Drop every cached cross-run timeline tree *and* the
+        per-machine dataflow-report LRU.
 
-        Key-based invalidation is automatic (the cache keys by binary
+        Key-based invalidation is automatic (the caches key by binary
         words plus the frozen noise/config dataclasses); this is the
-        explicit hatch for callers that mutate state the key cannot
-        see — e.g. re-seeding experiments that must re-grow trees.
+        explicit hatch for callers that mutate state the keys cannot
+        see — e.g. re-seeding experiments that must re-grow trees, or
+        the serving layer's per-point cold-start contract.  The
+        dataflow reports are a pure static analysis of the binary, but
+        the hatch's contract is *no derived state survives*: the
+        currently loaded binary re-analyzes on its next use too.
         """
         self._tree_cache.clear()
+        self._dataflow_cache.clear()
+        self._data_memory_report = None
 
     def engine_stats_snapshot(self) -> EngineStats:
         """A point-in-time copy of the live per-run statistics.

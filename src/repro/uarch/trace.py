@@ -194,3 +194,46 @@ class ShotCounts:
             outcome = (bits[qubit_a] << 1) | bits[qubit_b]
             counts[outcome] = counts.get(outcome, 0) + count
         return counts
+
+    # ------------------------------------------------------------------
+    # Serialization (the serving layer's checkpoint journal)
+    # ------------------------------------------------------------------
+    def as_dict(self) -> dict:
+        """A JSON-ready representation of the aggregate.
+
+        The round trip through :meth:`from_dict` is exact — the
+        serving layer's checkpoint journal relies on it to prove a
+        resumed sweep bit-identical to an uninterrupted one.  Joint
+        keys are emitted in sorted order so identical aggregates
+        serialize to identical JSON (the journal's integrity digests
+        compare byte-for-byte).
+        """
+        return {
+            "shots": self.shots,
+            "ones": {str(q): c for q, c in sorted(self.ones.items())},
+            "measured": {str(q): c
+                         for q, c in sorted(self.measured.items())},
+            "joint": [
+                [[[q, bit] for q, bit in key], count]
+                for key, count in sorted(self.joint.items())
+            ],
+            "total_slips": self.total_slips,
+            "max_slip_ns": self.max_slip_ns,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ShotCounts":
+        """Rebuild an aggregate from :meth:`as_dict` output."""
+        counts = cls(
+            shots=int(payload["shots"]),
+            ones={int(q): int(c)
+                  for q, c in payload.get("ones", {}).items()},
+            measured={int(q): int(c)
+                      for q, c in payload.get("measured", {}).items()},
+            total_slips=int(payload.get("total_slips", 0)),
+            max_slip_ns=float(payload.get("max_slip_ns", 0.0)),
+        )
+        for key, count in payload.get("joint", []):
+            counts.joint[tuple((int(q), int(bit))
+                               for q, bit in key)] = int(count)
+        return counts

@@ -1,0 +1,13 @@
+"""Session fixtures for the serving tests."""
+
+import pytest
+
+from serving_workload import build_setup
+
+
+@pytest.fixture(scope="session")
+def inline_setup():
+    """One in-process setup, reused across tests: ``execute_point``
+    resets all cross-point state, so sharing it is exactly the
+    per-point purity contract under test."""
+    return build_setup()

@@ -389,8 +389,82 @@ class TestGuardFaultHierarchy:
             error.missing_key
 
     def test_all_guards_are_eqasm_errors(self):
+        from repro.core.errors import (
+            AdmissionRejectedError,
+            JobDeadlineError,
+            WorkerPoolError,
+        )
         for cls in (ResourceError, ShotTimeoutError, BackendFaultError,
-                    QueueOverflowError):
+                    QueueOverflowError, JobDeadlineError,
+                    AdmissionRejectedError, WorkerPoolError):
             assert issubclass(cls, GuardFault)
             assert issubclass(cls, RuntimeFault)
             assert issubclass(cls, EQASMError)
+
+
+class TestRetryBackoff:
+    """The capped exponential backoff schedule of RetryPolicy."""
+
+    def test_zero_base_never_sleeps(self):
+        policy = RetryPolicy()
+        assert [policy.delay_for(n) for n in range(1, 6)] == [0.0] * 5
+
+    def test_capped_exponential_growth(self):
+        policy = RetryPolicy(max_attempts=8, backoff_s=0.1,
+                             backoff_cap_s=0.5, jitter=0.0)
+        delays = [policy.delay_for(n) for n in range(1, 8)]
+        assert delays[:3] == [0.1, 0.2, 0.4]
+        assert all(d == 0.5 for d in delays[3:])  # clamped at the cap
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        policy = RetryPolicy(backoff_s=1.0, backoff_cap_s=100.0,
+                             jitter=0.25, seed=42)
+        again = RetryPolicy(backoff_s=1.0, backoff_cap_s=100.0,
+                            jitter=0.25, seed=42)
+        other = RetryPolicy(backoff_s=1.0, backoff_cap_s=100.0,
+                            jitter=0.25, seed=43)
+        delays = [policy.delay_for(n) for n in range(1, 6)]
+        assert delays == [again.delay_for(n) for n in range(1, 6)]
+        assert delays != [other.delay_for(n) for n in range(1, 6)]
+        for n, delay in enumerate(delays, start=1):
+            base = min(1.0 * 2.0 ** (n - 1), 100.0)
+            assert base * 0.75 <= delay <= base * 1.25
+
+    def test_jitter_never_exceeds_the_cap(self):
+        policy = RetryPolicy(backoff_s=1.0, backoff_cap_s=1.0,
+                             jitter=1.0, seed=7)
+        assert all(policy.delay_for(n) <= 1.0 for n in range(1, 10))
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(backoff_multiplier=0.5)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(backoff_cap_s=-1.0)
+
+    def test_ladder_records_per_attempt_delay(self):
+        """run_resilient must make the sleep it took visible in the
+        structured degradations, not only take it."""
+        setup = make_setup()
+        assembled = setup.assemble_text(ACTIVE_RESET)
+        setup.machine.arm_faults(
+            FaultPlan([FaultSpec("timing_overflow", shot=0)]))
+        policy = RetryPolicy(backoff_s=0.01, backoff_cap_s=0.02,
+                             jitter=0.5, seed=3)
+        traces = setup.run_resilient(assembled, 10, policy=policy)
+        assert len(traces) == 10
+        stats = setup.last_engine_stats
+        [rung] = [d for d in stats.degradations if "attempt 1" in d]
+        assert "backoff" in rung
+        recorded = float(rung.split("backoff ")[1].rstrip("s)"))
+        assert abs(recorded - policy.delay_for(1)) < 5e-4
+
+    def test_zero_backoff_ladder_records_no_delay(self):
+        setup = make_setup()
+        assembled = setup.assemble_text(ACTIVE_RESET)
+        setup.machine.arm_faults(
+            FaultPlan([FaultSpec("timing_overflow", shot=0)]))
+        setup.run_resilient(assembled, 5)
+        assert all("backoff" not in d
+                   for d in setup.last_engine_stats.degradations)

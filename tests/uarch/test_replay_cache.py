@@ -123,6 +123,26 @@ class TestCrossRunTreeReuse:
         assert not stats.tree_reused
         assert stats.interpreter_shots > 0
 
+    def test_clear_replay_cache_also_drops_dataflow_reports(self):
+        """The explicit hatch's contract is *no derived state
+        survives*: the per-machine dataflow-report LRU (and the live
+        report of the loaded binary) must clear alongside the tree
+        cache, so a cleared machine re-derives everything from the
+        binary words."""
+        machine = make_machine(seed=3)
+        load(machine, ACTIVE_RESET)
+        report = machine.data_memory_report()
+        assert machine._dataflow_cache            # LRU holds the report
+        assert machine._data_memory_report is report
+
+        machine.clear_replay_cache()
+        assert not machine._dataflow_cache
+        assert machine._data_memory_report is None
+        # The next request recomputes (a fresh object, same verdict).
+        fresh = machine.data_memory_report()
+        assert fresh is not report
+        assert fresh.cross_run_cacheable == report.cross_run_cacheable
+
     def test_mock_reinjection_lands_on_the_cached_roots(self):
         """Roots key on the upcoming mock-value window, not cursor
         position: a later injection re-using values already seen lands
