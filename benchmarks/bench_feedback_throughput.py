@@ -43,6 +43,16 @@ Four scenarios cover the formerly fallback-only cases:
   asserted per scenario: stabilizer for every Clifford scenario here,
   dense for the Rabi/AllXY programs of the feedback-free bench.
 
+The looped-surface-code and surface17 scenarios additionally measure
+the **Pauli-frame batched engine**: the feedback-free program variants
+(``reset=False`` — no conditional ``C_X``) under stochastic Pauli
+*gate* noise, the regime where per-shot trajectory sampling blocks the
+replay tree.  One noise-free reference tableau shot records the
+Clifford sequence; frames then propagate errors for whole shot batches
+with vectorised numpy ops (:mod:`repro.quantum.pauli_frame`).  The
+surface-17 frame speedup over the per-shot tableau interpreter is
+gated — >= 25x when recording, >= 10x in CI (``--check``).
+
 Runs two ways:
 
 * under pytest (``pytest benchmarks/bench_feedback_throughput.py``)
@@ -96,6 +106,14 @@ CHECK_TARGET = 3.0
 TABLEAU_SPEEDUP_TARGET = 10.0
 #: CI floor for the tableau interpreter speedup.
 TABLEAU_CHECK_TARGET = 5.0
+#: Recording target for the Pauli-frame batched engine over the
+#: per-shot tableau interpreter on the stochastic-Pauli-noise
+#: scenarios (recorded 61x on surface-17 and 164x on the looped
+#: surface code: one reference tableau shot, then vectorised frame
+#: propagation per batch).
+FRAME_SPEEDUP_TARGET = 25.0
+#: CI floor for the frame-batched speedup (shared-runner margin).
+FRAME_CHECK_TARGET = 10.0
 
 PROGRAMS = {"active_reset": FIG4_PROGRAM, "cfc": CFC_TWO_ROUND_PROGRAM}
 
@@ -160,6 +178,17 @@ def _readout_only_noise() -> NoiseModel:
                                   two_qubit_error=0.0))
 
 
+def _pauli_noise() -> NoiseModel:
+    """Stochastic Pauli gate noise (negligible decoherence): the
+    per-shot trajectory sampling blocks the replay tree, so these
+    runs either pay the interpreter per shot or — when the gate
+    sequence cannot fork on outcomes — ride the Pauli-frame batch."""
+    return NoiseModel(
+        decoherence=DecoherenceModel(t1_ns=1e15, t2_ns=1e15),
+        gate_error=GateErrorModel(single_qubit_error=0.001,
+                                  two_qubit_error=0.005))
+
+
 def _make_machine(text: str, seed: int, isa=None,
                   noise: NoiseModel | None = None,
                   plant_backend: str = "auto",
@@ -179,6 +208,78 @@ def _time_run(machine: QuMAv2, shots: int, use_replay: bool):
     traces = machine.run(shots, use_replay=use_replay)
     elapsed = time.perf_counter() - start
     return traces, elapsed
+
+
+def _measure_frame_engine(make, shots: int, interp_shots: int,
+                          ancillas, rounds: int) -> dict:
+    """Per-shot tableau interpreter vs the Pauli-frame batch.
+
+    ``make(offset)`` builds a machine (stochastic Pauli gate noise, a
+    feedback-free program) with a seed offset.  The trajectory noise
+    blocks the replay tree, so the per-shot baseline is the tableau
+    *interpreter* — sampled at ``interp_shots`` and compared as a
+    rate, the same convention as the dense baselines.  Cross-checks:
+    frame-engine selection and accounting, per-outcome-path timing
+    identity against the interpreter, and per-ancilla per-round
+    syndrome rates (the Pauli noise makes them stochastic, so this
+    exercises the frames' error propagation, not just the splicing).
+    """
+    interpreter = make(0)
+    interp_traces, interp_s = _time_run(interpreter, interp_shots,
+                                        use_replay=False)
+    assert interpreter.last_run_engine == "interpreter"
+    assert interpreter.last_plant_backend == "stabilizer", \
+        f"tableau refused: {interpreter.plant_backend_reason}"
+
+    frame = make(1)
+    frame_traces, frame_s = _time_run(frame, shots, use_replay=True)
+    assert frame.last_run_engine == "frame", \
+        f"frame refused: {frame.replay_fallback_reason}"
+    assert frame.last_plant_backend == "stabilizer"
+    stats = frame.engine_stats
+    assert stats.frame_batched == shots
+    assert stats.frame_reference_shots == 1
+    assert not stats.degradations, stats.degradations
+
+    for trace in interp_traces + frame_traces:
+        assert len(trace.results) == len(ancillas) * rounds
+
+    # Feedback-free programs have one timing path; every frame trace
+    # must splice onto it bit-identically.
+    interp_by_path = {}
+    for trace in interp_traces:
+        interp_by_path.setdefault(trace.outcome_path(), trace)
+    checked = 0
+    for trace in frame_traces:
+        reference = interp_by_path.get(trace.outcome_path())
+        if reference is None:
+            continue
+        assert reference.triggers == trace.triggers
+        assert reference.classical_time_ns == trace.classical_time_ns
+        checked += 1
+    assert checked > 0, "no outcome path common to both engines"
+
+    tolerance = 4.5 * math.sqrt(0.5 / min(interp_shots, shots))
+    for ancilla in ancillas:
+        for round_index in range(rounds):
+            def rate(traces):
+                fired = sum(
+                    [r.reported_result for r in t.results
+                     if r.qubit == ancilla][round_index]
+                    for t in traces)
+                return fired / len(traces)
+            assert abs(rate(interp_traces) - rate(frame_traces)) < \
+                tolerance, f"ancilla {ancilla} round {round_index}"
+
+    interp_rate = interp_shots / interp_s
+    frame_rate = shots / frame_s
+    return {
+        "frame_noise_interpreter_shots_per_sec": round(interp_rate, 1),
+        "frame_shots_per_sec": round(frame_rate, 1),
+        "frame_speedup": round(frame_rate / interp_rate, 2),
+        "frame_paths_checked": checked,
+        "frame_engine_stats": stats.as_dict(),
+    }
 
 
 def measure_program(name: str, shots: int = 2000, seed: int = 13) -> dict:
@@ -429,6 +530,24 @@ def measure_looped_surface_code(shots: int = 2000, seed: int = 13) -> dict:
                 4.5 * math.sqrt(0.5 / dense_shots), \
                 f"ancilla {ancilla} round {round_index} (dense)"
 
+    # Pauli-frame batch: under stochastic gate noise the replay tree
+    # is blocked (per-shot trajectory sampling), and the feedback-free
+    # loop variant (no conditional C_X) keeps the Clifford sequence
+    # shot-invariant — one reference tableau shot, then vectorised
+    # frame propagation.
+    frame_program = looped_surface_code_program(SURFACE_CODE_ROUNDS,
+                                                reset=False)
+
+    def make_frame(offset):
+        return _make_machine(frame_program, seed + 3 + offset,
+                             isa=seven_qubit_instantiation(),
+                             noise=_pauli_noise())
+
+    frame = _measure_frame_engine(make_frame, shots=shots,
+                                  interp_shots=max(100, shots // 10),
+                                  ancillas=(2, 4),
+                                  rounds=SURFACE_CODE_ROUNDS)
+
     dense_rate = dense_shots / dense_s
     tableau_rate = shots / tableau_s
     replay_rate = shots / replay_s
@@ -443,6 +562,7 @@ def measure_looped_surface_code(shots: int = 2000, seed: int = 13) -> dict:
         "speedup": round(replay_rate / dense_rate, 2),
         "paths_checked": checked,
         "engine_stats": stats.as_dict(),
+        **frame,
     }
 
 
@@ -517,6 +637,27 @@ def measure_surface17(shots: int = 2000, seed: int = 13) -> dict:
             assert abs(rate(interp_traces) - rate(replay_traces)) < \
                 tolerance, f"ancilla {ancilla} round {round_index}"
 
+    # Pauli-frame batch on the 17-qubit chip: the feedback-free
+    # variant (reset=False) under stochastic Pauli gate noise — the
+    # regime where neither replay (trajectory sampling) nor the
+    # noise-free template applies, so before the frame engine every
+    # shot paid the full tableau interpreter.
+    frame_assembled = setup.compile_circuit(
+        surface17_circuit(rounds=SURFACE17_ROUNDS, reset=False))
+
+    def make_frame(offset):
+        isa = seventeen_qubit_instantiation()
+        plant = QuantumPlant(isa.topology, noise=_pauli_noise(),
+                             rng=np.random.default_rng(seed + 3 + offset))
+        machine = QuMAv2(isa, plant)
+        machine.load(frame_assembled)
+        return machine
+
+    frame = _measure_frame_engine(make_frame, shots=shots,
+                                  interp_shots=max(100, shots // 10),
+                                  ancillas=SURFACE17_Z_ANCILLAS,
+                                  rounds=SURFACE17_ROUNDS)
+
     return {
         "shots": shots,
         "rounds": SURFACE17_ROUNDS,
@@ -526,6 +667,7 @@ def measure_surface17(shots: int = 2000, seed: int = 13) -> dict:
         "speedup": round(interp_s / replay_s, 2),
         "paths_checked": checked,
         "engine_stats": stats.as_dict(),
+        **frame,
     }
 
 
@@ -741,6 +883,8 @@ def run_benchmark(shots: int = 2000) -> dict:
         "check_target": CHECK_TARGET,
         "tableau_speedup_target": TABLEAU_SPEEDUP_TARGET,
         "tableau_check_target": TABLEAU_CHECK_TARGET,
+        "frame_speedup_target": FRAME_SPEEDUP_TARGET,
+        "frame_check_target": FRAME_CHECK_TARGET,
         "programs": programs,
         "replay_audit": measure_audit_overhead(shots=shots),
         "replay_audit_identity": verify_full_audit_identity(
@@ -749,6 +893,8 @@ def run_benchmark(shots: int = 2000) -> dict:
                            for entry in programs.values()),
         "tableau_interpreter_speedup": programs[
             "looped_surface_code"]["tableau_interpreter_speedup"],
+        "surface17_frame_speedup": programs[
+            "surface17"]["frame_speedup"],
     }
 
 
@@ -792,6 +938,7 @@ def test_surface17_speedup():
     result = measure_surface17(shots=2000)
     print(f"\nsurface17: {result}")
     assert result["speedup"] >= SPEEDUP_TARGET
+    assert result["frame_speedup"] >= FRAME_SPEEDUP_TARGET
 
 
 def test_scratch_spill_reload_speedup():
@@ -842,6 +989,12 @@ def main() -> int:
         print(f"FAIL: tableau interpreter speedup "
               f"{result['tableau_interpreter_speedup']}x below the "
               f"{TABLEAU_CHECK_TARGET}x gate")
+        return 1
+    if args.check and result["surface17_frame_speedup"] < \
+            FRAME_CHECK_TARGET:
+        print(f"FAIL: surface-17 frame-batched speedup "
+              f"{result['surface17_frame_speedup']}x below the "
+              f"{FRAME_CHECK_TARGET}x gate")
         return 1
     audit = result["replay_audit"]
     if args.check and audit["machinery_overhead"] > \

@@ -66,9 +66,7 @@ YM90 S1
 QWAIT 50
 MEASZ S1
 QWAIT 50
-C_X S1
-QWAIT 5
-SUB R3, R3, R0
+{reset}SUB R3, R3, R0
 CMP R3, R0
 BR GE, loop
 QWAIT 50
@@ -76,12 +74,21 @@ STOP
 """
 
 
-def looped_surface_code_program(rounds: int) -> str:
-    """The counted-loop syndrome-extraction binary (eQASM text)."""
+def looped_surface_code_program(rounds: int, reset: bool = True) -> str:
+    """The counted-loop syndrome-extraction binary (eQASM text).
+
+    ``reset=False`` omits the conditional ``C_X`` ancilla reset —
+    the feedback-free loop variant whose gate sequence cannot fork
+    on per-shot outcomes, which is what the Pauli-frame batched
+    engine requires (with data in |00..0> the noise-free Z ancillas
+    end in |0> anyway).
+    """
     if rounds < 1:
         raise InvalidRequestError(
             f"need at least one round, got {rounds}")
-    return LOOPED_SURFACE_CODE_TEMPLATE.format(rounds=rounds)
+    reset_block = "C_X S1\nQWAIT 5\n" if reset else ""
+    return LOOPED_SURFACE_CODE_TEMPLATE.format(rounds=rounds,
+                                               reset=reset_block)
 
 
 @dataclass

@@ -15,17 +15,31 @@ Z_j^{z_ij}`` — rows ``n..2n-1`` generate the stabilizer group of the
 state, rows ``0..n-1`` the matching destabilizers (needed to make
 deterministic measurements O(n^2) instead of exponential).
 
+Storage is **bit-packed**: the 2n bits of each qubit column live in
+``ceil(2n/64)`` uint64 words (:attr:`StabilizerTableau.xw` /
+:attr:`~StabilizerTableau.zw`, shape ``(n, words)``; phases in
+:attr:`~StabilizerTableau.rw`).  A gate update then touches only the
+target columns, as a handful of word-wide AND/XOR minterm operations
+over all 2n rows at once — instead of the boolean fancy-indexing of
+the earlier uint8 layout, which materialised three 2n-length index
+arrays per gate.  Up to 64 qubits a column is a *single* word and the
+update runs on plain Python integers (CPython's arbitrary-precision
+ints are word arrays under the hood, so the same word-wide semantics
+hold for wider chips with zero numpy per-op overhead).  The canonical
+unpacked image (:meth:`~StabilizerTableau.x_bits` etc.) is what
+snapshot digests hash, so digests are a function of the generators,
+not of the packing.
+
 Gate application does **not** hard-code per-gate update rules.  Instead
 the symplectic action of any configured unitary is *derived
 numerically* once per operation (:func:`clifford_action_of`): conjugate
 every k-qubit Hermitian Pauli by the unitary and decompose the result
 in the Pauli basis.  If every image is again ``±`` a Pauli, the gate is
-Clifford and the resulting 4^k-entry lookup table updates all 2n rows
-with two fancy-indexing operations; otherwise the gate is not Clifford
-and the caller must fall back to the dense backend.  This keeps the
-backend faithful to eQASM's defining feature — the operation set is
-*configured*, not fixed — any user-registered Clifford pulse works
-without touching this module.
+Clifford and the resulting 4^k-entry lookup table updates all 2n rows;
+otherwise the gate is not Clifford and the caller must fall back to
+the dense backend.  This keeps the backend faithful to eQASM's
+defining feature — the operation set is *configured*, not fixed — any
+user-registered Clifford pulse works without touching this module.
 
 Noise: depolarizing gate error is a uniform Pauli mixture, so the
 backend realises it as a *sampled Pauli injection* per gate (the
@@ -34,6 +48,13 @@ shots).  Idle T1/T2 decoherence is not a Pauli channel; the backend
 refuses it, and the machine's backend selection keeps such noise
 models on the dense backend.  Readout assignment error is classical
 and lives in the measurement-discrimination unit, untouched.
+
+The backend also exports the hooks the Pauli-frame batched engine
+(:mod:`repro.quantum.pauli_frame`) records its reference shot through:
+setting :attr:`StabilizerBackend.frame_recorder` turns one shot into a
+noise-free reference run whose Clifford sequence, gate-error sites and
+measurement structure the recorder captures for vectorised multi-shot
+frame propagation.
 """
 
 from __future__ import annotations
@@ -145,11 +166,16 @@ def is_clifford(unitary: np.ndarray) -> bool:
 
 
 class StabilizerTableau:
-    """An ``n``-qubit stabilizer state as a CHP-style tableau.
+    """An ``n``-qubit stabilizer state as a bit-packed CHP tableau.
 
-    Columns are qubits, rows are Pauli generators (destabilizers then
-    stabilizers); all arrays are uint8 0/1 so the per-gate updates and
-    the row-product phase arithmetic vectorise over the 2n rows.
+    The 2n rows (destabilizers then stabilizers) are packed along the
+    row axis: for each qubit column ``q``, ``xw[q]`` / ``zw[q]`` hold
+    the column's 2n symplectic bits in uint64 words (bit ``i`` of word
+    ``i // 64`` is row ``i``); ``rw`` packs the 2n phase bits the same
+    way.  Gate application, Pauli injection and phase flips are then
+    word-wide boolean algebra over whole columns; the rowsum paths of
+    measurement extract individual rows as n-vectors when they need
+    the Aaronson–Gottesman i-exponent arithmetic.
     """
 
     def __init__(self, num_qubits: int):
@@ -157,35 +183,99 @@ class StabilizerTableau:
             raise PlantError("need at least one qubit")
         self.num_qubits = num_qubits
         n = num_qubits
-        self.x = np.zeros((2 * n, n), dtype=np.uint8)
-        self.z = np.zeros((2 * n, n), dtype=np.uint8)
-        self.r = np.zeros(2 * n, dtype=np.uint8)
-        self.x[np.arange(n), np.arange(n)] = 1          # destabilizers X_j
-        self.z[np.arange(n, 2 * n), np.arange(n)] = 1   # stabilizers  Z_j
+        self._rows = 2 * n
+        self._words = (self._rows + 63) // 64
+        #: Packed symplectic bits, shape (n, words): ``xw[q]`` is the
+        #: X column of qubit q over all 2n rows.
+        self.xw = np.zeros((n, self._words), dtype=np.uint64)
+        self.zw = np.zeros((n, self._words), dtype=np.uint64)
+        #: Packed phase bits r_i over the 2n rows.
+        self.rw = np.zeros(self._words, dtype=np.uint64)
+        self._identity_init()
+
+    def _identity_init(self) -> None:
+        n = self.num_qubits
+        for q in range(n):
+            self.xw[q, q >> 6] |= np.uint64(1) << np.uint64(q & 63)
+            row = n + q
+            self.zw[q, row >> 6] |= np.uint64(1) << np.uint64(row & 63)
 
     def reset(self) -> None:
         """Return to ``|0...0>``."""
-        n = self.num_qubits
-        self.x[:] = 0
-        self.z[:] = 0
-        self.r[:] = 0
-        self.x[np.arange(n), np.arange(n)] = 1
-        self.z[np.arange(n, 2 * n), np.arange(n)] = 1
+        self.xw[:] = 0
+        self.zw[:] = 0
+        self.rw[:] = 0
+        self._identity_init()
 
     def copy(self) -> "StabilizerTableau":
         clone = StabilizerTableau.__new__(StabilizerTableau)
         clone.num_qubits = self.num_qubits
-        clone.x = self.x.copy()
-        clone.z = self.z.copy()
-        clone.r = self.r.copy()
+        clone._rows = self._rows
+        clone._words = self._words
+        clone.xw = self.xw.copy()
+        clone.zw = self.zw.copy()
+        clone.rw = self.rw.copy()
         return clone
+
+    # ------------------------------------------------------------------
+    # Packed-word access helpers
+    # ------------------------------------------------------------------
+    def _col_int(self, arr: np.ndarray, q: int) -> int:
+        """One packed column as a single Python integer (2n bits)."""
+        if self._words == 1:
+            return int(arr[q, 0])
+        return int.from_bytes(arr[q].tobytes(), "little")
+
+    def _set_col_int(self, arr: np.ndarray, q: int, value: int) -> None:
+        if self._words == 1:
+            arr[q, 0] = value
+        else:
+            arr[q] = np.frombuffer(
+                value.to_bytes(self._words * 8, "little"), dtype=np.uint64)
+
+    def _r_int(self) -> int:
+        if self._words == 1:
+            return int(self.rw[0])
+        return int.from_bytes(self.rw.tobytes(), "little")
+
+    def _xor_r(self, flips: int) -> None:
+        if not flips:
+            return
+        if self._words == 1:
+            self.rw[0] ^= np.uint64(flips)
+        else:
+            self.rw ^= np.frombuffer(
+                flips.to_bytes(self._words * 8, "little"), dtype=np.uint64)
+
+    def _r_bit(self, row: int) -> int:
+        return int(self.rw[row >> 6] >> np.uint64(row & 63)) & 1
+
+    def _set_r_bit(self, row: int, value: int) -> None:
+        mask = np.uint64(1) << np.uint64(row & 63)
+        if value:
+            self.rw[row >> 6] |= mask
+        else:
+            self.rw[row >> 6] &= ~mask
+
+    def _row_bits(self, arr: np.ndarray, row: int) -> np.ndarray:
+        """One tableau row across all n columns as an int8 0/1 vector."""
+        return ((arr[:, row >> 6] >> np.uint64(row & 63)) &
+                np.uint64(1)).astype(np.int8)
 
     # ------------------------------------------------------------------
     # Clifford evolution
     # ------------------------------------------------------------------
     def apply(self, action: CliffordAction,
               qubits: tuple[int, ...]) -> None:
-        """Conjugate every row by the gate via its action table."""
+        """Conjugate every row by the gate via its action table.
+
+        The update is the minterm expansion of the action table in
+        word-wide boolean algebra: each of the ``4^k - 1`` non-identity
+        input values ``v`` selects the rows currently carrying that
+        Pauli on the target qubits (an AND of column literals), and
+        XOR/ORs them into the output columns and the phase word that
+        ``bits[v]`` / ``sign[v]`` prescribe.
+        """
         if len(qubits) != action.num_qubits:
             raise PlantError(
                 f"action on {action.num_qubits} qubit(s) applied to "
@@ -193,38 +283,73 @@ class StabilizerTableau:
         for qubit in qubits:
             if not 0 <= qubit < self.num_qubits:
                 raise PlantError(f"qubit {qubit} out of range")
+        bits = action.bits
+        sign = action.sign
         if len(qubits) == 1:
             a = qubits[0]
-            v = self.x[:, a] | (self.z[:, a] << 1)
-            image = action.bits[v]
-            self.r ^= action.sign[v]
-            self.x[:, a] = image & 1
-            self.z[:, a] = (image >> 1) & 1
+            xa = self._col_int(self.xw, a)
+            za = self._col_int(self.zw, a)
+            # Minterms of (x, z) indexed by v = x + 2z; v=0 maps I->I
+            # and never contributes, so it is skipped.
+            minterms = (0, xa & ~za, ~xa & za, xa & za)
+            new_x = new_z = flips = 0
+            for v in (1, 2, 3):
+                term = minterms[v]
+                if not term:
+                    continue
+                image = bits[v]
+                if image & 1:
+                    new_x |= term
+                if image & 2:
+                    new_z |= term
+                if sign[v]:
+                    flips ^= term
+            self._set_col_int(self.xw, a, new_x)
+            self._set_col_int(self.zw, a, new_z)
+            self._xor_r(flips)
         else:
             a, b = qubits
             if a == b:
                 raise PlantError(f"duplicate qubits in {qubits}")
-            v = (self.x[:, a] | (self.z[:, a] << 1) |
-                 (self.x[:, b] << 2) | (self.z[:, b] << 3))
-            image = action.bits[v]
-            self.r ^= action.sign[v]
-            self.x[:, a] = image & 1
-            self.z[:, a] = (image >> 1) & 1
-            self.x[:, b] = (image >> 2) & 1
-            self.z[:, b] = (image >> 3) & 1
+            xa = self._col_int(self.xw, a)
+            za = self._col_int(self.zw, a)
+            xb = self._col_int(self.xw, b)
+            zb = self._col_int(self.zw, b)
+            full = (1 << self._rows) - 1
+            ta = (full & ~xa & ~za, xa & ~za, ~xa & za, xa & za)
+            tb = (full & ~xb & ~zb, xb & ~zb, ~xb & zb, xb & zb)
+            new_xa = new_za = new_xb = new_zb = flips = 0
+            for v in range(1, 16):
+                term = ta[v & 3] & tb[v >> 2]
+                if not term:
+                    continue
+                image = bits[v]
+                if image & 1:
+                    new_xa |= term
+                if image & 2:
+                    new_za |= term
+                if image & 4:
+                    new_xb |= term
+                if image & 8:
+                    new_zb |= term
+                if sign[v]:
+                    flips ^= term
+            self._set_col_int(self.xw, a, new_xa)
+            self._set_col_int(self.zw, a, new_za)
+            self._set_col_int(self.xw, b, new_xb)
+            self._set_col_int(self.zw, b, new_zb)
+            self._xor_r(flips)
 
     def apply_pauli(self, v: int, qubits: tuple[int, ...]) -> None:
         """Apply a Pauli error (packed index ``v`` as in the action
         tables): each row's phase flips iff it anticommutes with it."""
-        anti = np.zeros(2 * self.num_qubits, dtype=np.uint8)
+        flips = 0
         for slot, qubit in enumerate(qubits):
-            px = (v >> (2 * slot)) & 1
-            pz = (v >> (2 * slot + 1)) & 1
-            if px:
-                anti ^= self.z[:, qubit]
-            if pz:
-                anti ^= self.x[:, qubit]
-        self.r ^= anti
+            if (v >> (2 * slot)) & 1:                  # X component
+                flips ^= self._col_int(self.zw, qubit)
+            if (v >> (2 * slot + 1)) & 1:              # Z component
+                flips ^= self._col_int(self.xw, qubit)
+        self._xor_r(flips)
 
     # ------------------------------------------------------------------
     # Row products (Aaronson–Gottesman "rowsum")
@@ -232,10 +357,6 @@ class StabilizerTableau:
     def _phase_exponent(self, x1, z1, x2, z2) -> int:
         """Sum over qubits of the i-exponent g(x1, z1, x2, z2) when the
         Pauli (x1, z1) is multiplied by (x2, z2) (A–G eq. for rowsum)."""
-        x1 = x1.astype(np.int8)
-        z1 = z1.astype(np.int8)
-        x2 = x2.astype(np.int8)
-        z2 = z2.astype(np.int8)
         g = np.where(
             (x1 == 1) & (z1 == 1), z2 - x2,
             np.where((x1 == 1) & (z1 == 0), z2 * (2 * x2 - 1),
@@ -245,27 +366,40 @@ class StabilizerTableau:
 
     def _rowsum(self, h: int, i: int) -> None:
         """Row h := row i * row h (the stabilizer-group product)."""
-        total = (2 * int(self.r[h]) + 2 * int(self.r[i]) +
-                 self._phase_exponent(self.x[i], self.z[i],
-                                      self.x[h], self.z[h]))
-        self.r[h] = (total % 4) // 2
-        self.x[h] ^= self.x[i]
-        self.z[h] ^= self.z[i]
+        xi = self._row_bits(self.xw, i)
+        zi = self._row_bits(self.zw, i)
+        xh = self._row_bits(self.xw, h)
+        zh = self._row_bits(self.zw, h)
+        total = (2 * self._r_bit(h) + 2 * self._r_bit(i) +
+                 self._phase_exponent(xi, zi, xh, zh))
+        self._set_r_bit(h, (total % 4) // 2)
+        shift_i = np.uint64(i & 63)
+        shift_h = np.uint64(h & 63)
+        one = np.uint64(1)
+        src_x = (self.xw[:, i >> 6] >> shift_i) & one
+        src_z = (self.zw[:, i >> 6] >> shift_i) & one
+        self.xw[:, h >> 6] ^= src_x << shift_h
+        self.zw[:, h >> 6] ^= src_z << shift_h
 
     def _deterministic_outcome(self, a: int) -> int:
         """Outcome of measuring qubit ``a`` when no stabilizer
         anticommutes with Z_a: multiply out the stabilizer rows whose
         destabilizer partners anticommute and read the product's sign."""
         n = self.num_qubits
-        sx = np.zeros(n, dtype=np.uint8)
-        sz = np.zeros(n, dtype=np.uint8)
+        sx = np.zeros(n, dtype=np.int8)
+        sz = np.zeros(n, dtype=np.int8)
         total = 0
-        for i in np.nonzero(self.x[:n, a])[0]:
-            total += (2 * int(self.r[i + n]) +
-                      self._phase_exponent(self.x[i + n], self.z[i + n],
-                                           sx, sz))
-            sx ^= self.x[i + n]
-            sz ^= self.z[i + n]
+        remaining = self._col_int(self.xw, a) & ((1 << n) - 1)
+        while remaining:
+            i = (remaining & -remaining).bit_length() - 1
+            remaining &= remaining - 1
+            row = i + n
+            xr = self._row_bits(self.xw, row)
+            zr = self._row_bits(self.zw, row)
+            total += (2 * self._r_bit(row) +
+                      self._phase_exponent(xr, zr, sx, sz))
+            sx ^= xr
+            sz ^= zr
         return (total % 4) // 2
 
     # ------------------------------------------------------------------
@@ -276,10 +410,27 @@ class StabilizerTableau:
         with Z_a (random outcome), else exactly 0.0 or 1.0."""
         if not 0 <= a < self.num_qubits:
             raise PlantError(f"qubit {a} out of range")
-        n = self.num_qubits
-        if self.x[n:, a].any():
+        if self._col_int(self.xw, a) >> self.num_qubits:
             return 0.5
         return float(self._deterministic_outcome(a))
+
+    def pivot_stabilizer(self, a: int) -> int | None:
+        """Row index of the first stabilizer anticommuting with Z_a,
+        or None when the measurement of ``a`` is deterministic.  This
+        is the row :meth:`collapse` pivots on; the Pauli-frame engine
+        records it (:meth:`row_paulis`) as the frame correction that
+        maps one random-measurement branch onto the other."""
+        stab = self._col_int(self.xw, a) >> self.num_qubits
+        if not stab:
+            return None
+        return self.num_qubits + (stab & -stab).bit_length() - 1
+
+    def row_paulis(self, row: int) -> tuple[np.ndarray, np.ndarray]:
+        """One row's (x, z) bits as uint8 n-vectors (sign excluded)."""
+        if not 0 <= row < self._rows:
+            raise PlantError(f"row {row} out of range")
+        return (self._row_bits(self.xw, row).astype(np.uint8),
+                self._row_bits(self.zw, row).astype(np.uint8))
 
     def collapse(self, a: int, result: int) -> None:
         """Project qubit ``a`` onto ``result`` (raises on probability 0)."""
@@ -288,25 +439,40 @@ class StabilizerTableau:
         if not 0 <= a < self.num_qubits:
             raise PlantError(f"qubit {a} out of range")
         n = self.num_qubits
-        anticommuting = np.nonzero(self.x[n:, a])[0]
-        if anticommuting.size == 0:
+        column = self._col_int(self.xw, a)
+        if not column >> n:
             if self._deterministic_outcome(a) != result:
                 raise PlantError(
                     f"collapse of qubit {a} to {result} has probability 0")
             return
-        p = int(anticommuting[0]) + n
-        for h in np.nonzero(self.x[:, a])[0]:
-            if h != p:
-                self._rowsum(int(h), p)
+        p = self.pivot_stabilizer(a)
+        remaining = column & ~(1 << p)
+        while remaining:
+            h = (remaining & -remaining).bit_length() - 1
+            remaining &= remaining - 1
+            self._rowsum(h, p)
         # The old stabilizer becomes the new destabilizer; the new
         # stabilizer is (+/-) Z_a with the chosen outcome as its sign.
-        self.x[p - n] = self.x[p]
-        self.z[p - n] = self.z[p]
-        self.r[p - n] = self.r[p]
-        self.x[p] = 0
-        self.z[p] = 0
-        self.z[p, a] = 1
-        self.r[p] = result
+        self._copy_row(p, p - n)
+        self._clear_row(p)
+        self.zw[a, p >> 6] |= np.uint64(1) << np.uint64(p & 63)
+        self._set_r_bit(p, result)
+
+    def _copy_row(self, src: int, dst: int) -> None:
+        one = np.uint64(1)
+        shift_s = np.uint64(src & 63)
+        shift_d = np.uint64(dst & 63)
+        keep = ~(one << shift_d)
+        for arr in (self.xw, self.zw):
+            bit = (arr[:, src >> 6] >> shift_s) & one
+            arr[:, dst >> 6] = (arr[:, dst >> 6] & keep) | (bit << shift_d)
+        self._set_r_bit(dst, self._r_bit(src))
+
+    def _clear_row(self, row: int) -> None:
+        keep = ~(np.uint64(1) << np.uint64(row & 63))
+        self.xw[:, row >> 6] &= keep
+        self.zw[:, row >> 6] &= keep
+        self._set_r_bit(row, 0)
 
     def measure(self, a: int, rng: np.random.Generator) -> int:
         """Sample a projective z-measurement and collapse the state."""
@@ -319,18 +485,51 @@ class StabilizerTableau:
         return result
 
     # ------------------------------------------------------------------
+    # Canonical unpacked image (tests / digests / debugging)
+    # ------------------------------------------------------------------
+    def _unpack(self, arr: np.ndarray) -> np.ndarray:
+        """Unpack a (n, words) column array to (2n, n) uint8 bits —
+        the pre-packing row-major layout, which is the *canonical*
+        image: snapshot digests hash it so the digest-of-state
+        contract (same generators => same digest) is independent of
+        the word packing."""
+        shifts = np.arange(64, dtype=np.uint64)
+        bits = (arr[:, :, None] >> shifts) & np.uint64(1)
+        flat = bits.reshape(self.num_qubits, self._words * 64)
+        return np.ascontiguousarray(
+            flat[:, :self._rows].T.astype(np.uint8))
+
+    def x_bits(self) -> np.ndarray:
+        """The X bits as a canonical (2n, n) uint8 array."""
+        return self._unpack(self.xw)
+
+    def z_bits(self) -> np.ndarray:
+        """The Z bits as a canonical (2n, n) uint8 array."""
+        return self._unpack(self.zw)
+
+    def r_bits(self) -> np.ndarray:
+        """The phase bits as a canonical (2n,) uint8 vector."""
+        shifts = np.arange(64, dtype=np.uint64)
+        bits = (self.rw[:, None] >> shifts) & np.uint64(1)
+        return np.ascontiguousarray(
+            bits.reshape(self._words * 64)[:self._rows].astype(np.uint8))
+
+    # ------------------------------------------------------------------
     # Inspection (tests / debugging)
     # ------------------------------------------------------------------
     def stabilizer_strings(self) -> list[str]:
         """The stabilizer generators as signed Pauli strings."""
         letters = {0: "I", 1: "X", 2: "Z", 3: "Y"}
+        x = self.x_bits()
+        z = self.z_bits()
+        r = self.r_bits()
         out = []
         n = self.num_qubits
         for row in range(n, 2 * n):
             body = "".join(
-                letters[int(self.x[row, q]) | (int(self.z[row, q]) << 1)]
+                letters[int(x[row, q]) | (int(z[row, q]) << 1)]
                 for q in range(n))
-            out.append(("-" if self.r[row] else "+") + body)
+            out.append(("-" if r[row] else "+") + body)
         return out
 
 
@@ -346,6 +545,14 @@ class StabilizerBackend(PlantBackend):
     trajectory* and exact in distribution over shots, at polynomial
     cost — surface-code-scale chips run where the dense backend cannot
     allocate its matrix.
+
+    Setting :attr:`frame_recorder` (a
+    :class:`repro.quantum.pauli_frame.FrameRecorder`) turns the next
+    shot into the Pauli-frame engine's *reference* run: gates and
+    measurements are recorded, and stochastic gate error is *deferred*
+    to the batched frames instead of being sampled here — the
+    reference trajectory must be noise-free for the frames to carry
+    the noise exactly.
     """
 
     kind = "stabilizer"
@@ -353,6 +560,9 @@ class StabilizerBackend(PlantBackend):
     def __init__(self, num_qubits: int):
         super().__init__(num_qubits)
         self.tableau = StabilizerTableau(num_qubits)
+        #: When set, this shot is a Pauli-frame reference run — see
+        #: the class docstring.  Cleared by the machine in a finally.
+        self.frame_recorder = None
 
     def reset(self) -> None:
         self.tableau.reset()
@@ -371,6 +581,8 @@ class StabilizerBackend(PlantBackend):
                 f"operation {name!r} is not Clifford; the stabilizer "
                 f"backend cannot apply it (select the dense backend)")
         self.tableau.apply(action, indices)
+        if self.frame_recorder is not None:
+            self.frame_recorder.record_gate(action, indices)
 
     def apply_gate_error(self, indices: tuple[int, ...],
                          gate_error: GateErrorModel,
@@ -380,6 +592,8 @@ class StabilizerBackend(PlantBackend):
         Exactly unravels the dense backend's Kraus channel: with
         probability ``p`` one of the ``4^k - 1`` non-identity Paulis is
         injected, so the distribution over shots matches the channel.
+        During a Pauli-frame reference shot the injection is *recorded
+        instead of sampled* — the batched frames sample it per shot.
         """
         k = len(indices)
         if k == 1:
@@ -389,6 +603,9 @@ class StabilizerBackend(PlantBackend):
         else:
             raise PlantError("only 1- and 2-qubit gates are supported")
         if p == 0.0:
+            return
+        if self.frame_recorder is not None:
+            self.frame_recorder.record_gate_error(indices, p)
             return
         if rng.random() < p:
             v = int(rng.integers(1, 4 ** k))
@@ -407,6 +624,9 @@ class StabilizerBackend(PlantBackend):
         return self.tableau.probability_one(index)
 
     def measure(self, index: int, rng: np.random.Generator) -> int:
+        if self.frame_recorder is not None:
+            return self.frame_recorder.record_measurement(
+                self.tableau, index, rng)
         return self.tableau.measure(index, rng)
 
     def collapse(self, index: int, result: int) -> None:
@@ -414,18 +634,24 @@ class StabilizerBackend(PlantBackend):
 
     @classmethod
     def estimate_bytes(cls, num_qubits: int) -> int:
-        # Two (2n x n) uint8 arrays plus the 2n-entry phase vector.
-        return 4 * num_qubits * num_qubits + 2 * num_qubits
+        # Two (n x words) uint64 column arrays plus the packed phases.
+        words = (2 * num_qubits + 63) // 64
+        return 16 * num_qubits * words + 8 * words
 
     def state_digest(self, snapshot: StabilizerTableau) -> int:
-        return hash((snapshot.x.tobytes(), snapshot.z.tobytes(),
-                     snapshot.r.tobytes()))
+        # Hash the canonical unpacked image, not the word layout: the
+        # digest is a function of the generators alone, so it survives
+        # any repacking of the same state.
+        return hash((snapshot.x_bits().tobytes(),
+                     snapshot.z_bits().tobytes(),
+                     snapshot.r_bits().tobytes()))
 
     def corrupt_snapshot(self, snapshot: StabilizerTableau,
                          rng: np.random.Generator) -> None:
-        row = int(rng.integers(snapshot.x.shape[0]))
-        column = int(rng.integers(snapshot.x.shape[1]))
-        snapshot.x[row, column] ^= 1
+        row = int(rng.integers(2 * snapshot.num_qubits))
+        column = int(rng.integers(snapshot.num_qubits))
+        snapshot.xw[column, row >> 6] ^= \
+            np.uint64(1) << np.uint64(row & 63)
 
 
 # Register with the plant's backend table ("stabilizer" resolves here).

@@ -73,6 +73,7 @@ from repro.core.instructions import (
 )
 from repro.core.isa import EQASMInstantiation
 from repro.core.microcode import MicrocodeUnit, MicroOpRole
+from repro.core.operations import ExecutionFlag
 from repro.core.registers import (
     ComparisonFlags,
     DataMemory,
@@ -82,6 +83,7 @@ from repro.core.registers import (
     to_signed32,
     to_unsigned32,
 )
+from repro.quantum.pauli_frame import FrameRecorder, propagate_frames
 from repro.quantum.plant import QuantumPlant
 from repro.quantum.stabilizer import cached_clifford_action
 from repro.uarch.config import UarchConfig
@@ -116,6 +118,12 @@ from repro.uarch.trace import (
 
 #: Bound on retained cross-run timeline trees (LRU eviction).
 _TREE_CACHE_CAPACITY = 16
+
+#: Shots per vectorised Pauli-frame propagation batch: large enough to
+#: amortise the per-step numpy dispatch, small enough that the frame
+#: and outcome matrices stay cache-friendly and the first traces reach
+#: a streaming run_iter consumer promptly.
+_FRAME_CHUNK_SHOTS = 16384
 
 #: Bound on retained dataflow analyses (LRU keyed by binary words), so
 #: sweeps that reload many distinct binaries into one machine stop
@@ -409,6 +417,19 @@ class QuMAv2:
         reasons = (["replay disabled by caller"] if not use_replay
                    else self.replay_unsupported_reasons())
         if reasons:
+            # Stochastic Pauli gate noise blocks the outcome-keyed
+            # replay tree, but on a feedback-free Clifford program the
+            # Pauli-frame batched engine handles exactly that case: one
+            # reference tableau shot plus vectorised per-shot frames
+            # (see repro.quantum.pauli_frame).  Selection mirrors the
+            # replay pattern — a static eligibility pass, transparent
+            # reporting, graceful fallback.
+            if (use_replay and backend_kind == "stabilizer" and
+                    not self.plant.noise.gate_error.is_zero and
+                    not self.frame_batch_unsupported_reasons()):
+                yield from self._run_frame_batched(
+                    shots, max_instructions, stats, plan)
+                return
             reason = "; ".join(reasons)
             self.last_run_engine = "interpreter"
             self.replay_fallback_reason = reason
@@ -877,6 +898,147 @@ class QuMAv2:
         return replay_unsupported_reason(
             self._instructions, self.microcode, self.measurement_unit,
             self.isa.topology.qubits)
+
+    def frame_batch_unsupported_reasons(self) -> list[str]:
+        """Every reason the loaded program cannot use the Pauli-frame
+        batched engine (empty when it can).
+
+        The frame engine replays ONE recorded Clifford/measurement
+        sequence for every shot, so on top of the replay engine's hard
+        blockers it must prove the sequence cannot fork per shot: no
+        ``FMR`` (a consumed result can steer later classical control
+        flow), no conditionally executed micro-operations (fast
+        conditional execution cancels gates on per-shot outcomes), and
+        no injected mock results (their queues make consecutive shots
+        see different values).  The caller separately requires the
+        stabilizer backend with nonzero Pauli gate error — the one
+        regime replay cannot serve.
+        """
+        reasons = replay_unsupported_reasons(
+            self._instructions, self.microcode, self.measurement_unit,
+            self.isa.topology.qubits,
+            data_memory_report=self.data_memory_report())
+        conditional: list[str] = []
+        has_fmr = False
+        for instruction in self._instructions:
+            if isinstance(instruction, Fmr):
+                has_fmr = True
+                continue
+            if not isinstance(instruction, Bundle):
+                continue
+            for slot in instruction.operations:
+                try:
+                    micro_ops = self.microcode.translate_name(slot.name)
+                except Exception:
+                    continue  # already a replay blocker above
+                for micro_op in micro_ops:
+                    if micro_op.condition is not ExecutionFlag.ALWAYS \
+                            and slot.name not in conditional:
+                        conditional.append(slot.name)
+        if has_fmr:
+            reasons.append(
+                "FMR feedback can fork the Clifford sequence on "
+                "per-shot outcomes")
+        for name in conditional:
+            reasons.append(
+                f"operation {name!r} executes conditionally (the gate "
+                f"sequence forks on per-shot outcomes)")
+        if self.measurement_unit.has_any_mock_results():
+            reasons.append(
+                "injected mock results vary across shots as their "
+                "queues drain")
+        return reasons
+
+    def _run_frame_batched(self, shots: int, max_instructions: int,
+                           stats: EngineStats,
+                           plan) -> Iterator[ShotTrace]:
+        """Serve ``shots`` traces through the Pauli-frame batched
+        engine (see :mod:`repro.quantum.pauli_frame`).
+
+        One noise-free interpreter shot runs with a
+        :class:`FrameRecorder` installed on the stabilizer backend,
+        capturing the Clifford sequence, every deferred gate-error site
+        and the measurement structure; its trace becomes the frozen
+        timeline template.  Batches of per-shot frames then propagate
+        through the recording with vectorised column operations, and
+        each shot's sampled ``(raw, reported)`` row is spliced into the
+        template.  A fault during the reference shot (the
+        ``backend_gate`` site, or ``snapshot_corrupt`` via the
+        post-reference snapshot integrity round-trip) degrades the
+        whole run gracefully to the per-shot tableau interpreter,
+        recorded in :attr:`EngineStats.degradations`.
+        """
+        stats.engine = "frame"
+        stats.fallback_reason = None
+        self.last_run_engine = "frame"
+        self.replay_fallback_reason = None
+        backend = self.plant.backend
+        recorder = FrameRecorder()
+        if plan is not None:
+            plan.begin_shot(0)
+        degraded_reason = None
+        template = None
+        backend.frame_recorder = recorder
+        try:
+            template = self.run_shot(max_instructions)
+            backend.frame_recorder = None
+            # Round-trip a snapshot so the frame path exercises the
+            # same state-integrity machinery (and fault site) the
+            # replay engine does before trusting a recorded timeline.
+            self.plant.restore(self.plant.snapshot())
+        except EQASMError as error:
+            degraded_reason = (f"frame reference shot failed "
+                               f"({type(error).__name__}: {error})")
+        finally:
+            backend.frame_recorder = None
+        if degraded_reason is None and \
+                recorder.measure_count != len(template.results):
+            # Forced/mocked results would bypass the backend recorder;
+            # eligibility excludes them, so a mismatch means the
+            # recording cannot drive the splice — never serve from it.
+            degraded_reason = (
+                f"frame recording captured {recorder.measure_count} "
+                f"measurements but the reference trace holds "
+                f"{len(template.results)}")
+        if degraded_reason is not None:
+            stats.degradations.append(
+                f"frame -> interpreter: {degraded_reason}")
+            stats.engine = "interpreter"
+            stats.fallback_reason = degraded_reason
+            self.last_run_engine = "interpreter"
+            self.replay_fallback_reason = degraded_reason
+            try:
+                for shot_index in range(shots):
+                    if plan is not None:
+                        plan.begin_shot(shot_index)
+                    stats.shots_total += 1
+                    stats.interpreter_shots += 1
+                    yield self.run_shot(max_instructions)
+            finally:
+                self._sync_faults(stats, plan)
+            return
+        stats.frame_reference_shots += 1
+        readout = self.plant.noise.readout
+        num_qubits = self.plant.num_qubits
+        shot_index = 0
+        try:
+            while shot_index < shots:
+                chunk = min(shots - shot_index, _FRAME_CHUNK_SHOTS)
+                raw, reported = propagate_frames(
+                    recorder.steps, num_qubits, chunk, self.plant.rng,
+                    readout)
+                raw_rows = raw.tolist()
+                reported_rows = reported.tolist()
+                for row in range(chunk):
+                    if plan is not None:
+                        plan.begin_shot(shot_index)
+                    stats.shots_total += 1
+                    stats.frame_batched += 1
+                    shot_index += 1
+                    yield template.with_sampled_results(
+                        list(zip(raw_rows[row], reported_rows[row])))
+        finally:
+            self._sync_faults(stats, plan)
 
     # ------------------------------------------------------------------
     # Classical pipeline

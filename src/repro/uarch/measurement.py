@@ -173,6 +173,13 @@ class MeasurementUnit:
             return 0
         return len(queue) - self._mock_cursor.get(qubit, 0)
 
+    def has_any_mock_results(self) -> bool:
+        """Whether fabricated results remain queued for *any* qubit
+        (the Pauli-frame engine's eligibility pass: draining queues
+        make consecutive shots observe different values)."""
+        return any(self.remaining_mock_results(qubit) > 0
+                   for qubit in self._mock_results)
+
     def clear_mock_results(self) -> None:
         """Drop all fabricated results (start of a fresh experiment)."""
         self._mock_results.clear()

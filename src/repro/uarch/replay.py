@@ -158,9 +158,12 @@ class EngineStats:
     can report the engine mix mid-flight via :meth:`snapshot`.
     """
 
-    #: "replay" when the branch-resolved engine drove the run,
-    #: "interpreter" when a hard blocker forced the cycle-accurate
-    #: interpreter for every shot, None before any shot ran.
+    #: "replay" when the branch-resolved engine drove the run, "frame"
+    #: when the Pauli-frame batched engine did (one tableau reference
+    #: shot plus vectorised multi-shot frame propagation — see
+    #: :mod:`repro.quantum.pauli_frame`), "interpreter" when a hard
+    #: blocker forced the cycle-accurate interpreter for every shot,
+    #: None before any shot ran.
     engine: str | None = None
     #: All hard-blocker reasons ("; "-joined) when ``engine`` is
     #: "interpreter"; None on the replay path.
@@ -181,6 +184,16 @@ class EngineStats:
     interpreter_shots: int = 0
     #: Shots served purely from the timeline-segment tree.
     replay_shots: int = 0
+    #: Shots served by the Pauli-frame batched engine (vectorised frame
+    #: rows spliced into the reference shot's frozen timeline).  The
+    #: delivered-shot invariant is ``shots_total == interpreter_shots +
+    #: replay_shots + frame_batched``.
+    frame_batched: int = 0
+    #: Reference shots the frame engine ran on the tableau interpreter
+    #: to record the Clifford/measurement structure.  These are engine
+    #: overhead, not delivered shots — they count in neither
+    #: ``shots_total`` nor ``interpreter_shots``.
+    frame_reference_shots: int = 0
     #: Tree walks that found a complete cached path.
     segment_cache_hits: int = 0
     #: Tree walks that hit an unexplored outcome edge (each miss costs

@@ -46,33 +46,41 @@ SURFACE17_X_ANCILLAS = tuple(sorted(SURFACE17_X_CHECKS))
 
 
 def surface17_syndrome_round(circuit: Circuit,
-                             include_x_checks: bool = False) -> None:
+                             include_x_checks: bool = False,
+                             reset: bool = True) -> None:
     """Append one full distance-3 syndrome-extraction round.
 
     The two bulk Z-plaquettes share data qubit 4, so their CZ layers
     serialise there; everything else schedules in parallel and the
     compiler's SOMQ merging packs the identical Y90/measure layers
     into masked operations exactly as on the distance-2 patch.
+    ``reset=False`` omits the conditional ``C_X`` ancilla reset — the
+    feedback-free variant whose gate sequence cannot fork on per-shot
+    outcomes (what the Pauli-frame batched engine requires; with data
+    in |0...0> the noise-free Z ancillas end in |0> anyway).
     """
     for ancilla in SURFACE17_Z_ANCILLAS:
-        z_check_circuit(circuit, ancilla, SURFACE17_Z_CHECKS[ancilla])
+        z_check_circuit(circuit, ancilla, SURFACE17_Z_CHECKS[ancilla],
+                        reset=reset)
     if include_x_checks:
         for ancilla in SURFACE17_X_ANCILLAS:
             x_check_circuit(circuit, ancilla,
-                            SURFACE17_X_CHECKS[ancilla])
+                            SURFACE17_X_CHECKS[ancilla], reset=reset)
 
 
 def surface17_circuit(rounds: int = 2,
                       error: tuple[str, int] | None = None,
                       error_after_round: int = 0,
-                      include_x_checks: bool = False) -> Circuit:
+                      include_x_checks: bool = False,
+                      reset: bool = True) -> Circuit:
     """Distance-3 syndrome-extraction experiment circuit.
 
     ``error`` optionally injects a Pauli (``("X", data_qubit)`` or
     ``("Z", data_qubit)``) after round ``error_after_round``; a data
     X error must flip exactly the Z-stabilizers whose plaquette
     contains the qubit (one or two of them — distance 3 separates
-    every single error).
+    every single error).  ``reset=False`` builds the feedback-free
+    variant (see :func:`surface17_syndrome_round`).
     """
     if rounds < 1:
         raise InvalidRequestError(
@@ -80,7 +88,8 @@ def surface17_circuit(rounds: int = 2,
     circuit = Circuit(name="surface-code-d3", num_qubits=17)
     for round_index in range(rounds):
         surface17_syndrome_round(circuit,
-                                 include_x_checks=include_x_checks)
+                                 include_x_checks=include_x_checks,
+                                 reset=reset)
         if error is not None and round_index == error_after_round:
             pauli, qubit = error
             if qubit not in SURFACE17_DATA_QUBITS:

@@ -230,3 +230,264 @@ class TestStabilizerBackend:
         backend = StabilizerBackend(2)
         with pytest.raises(PlantError, match="density matrix"):
             backend.density_matrix()
+
+
+class BooleanTableau:
+    """The pre-bit-packing boolean tableau, ported verbatim as the
+    differential reference for the packed implementation: one uint8
+    0/1 entry per bit, fancy-indexed gate updates.  Only the paths the
+    property tests drive are kept (gates, Pauli injection,
+    probabilities, collapse, measurement)."""
+
+    def __init__(self, num_qubits: int):
+        self.num_qubits = num_qubits
+        n = num_qubits
+        self.x = np.zeros((2 * n, n), dtype=np.uint8)
+        self.z = np.zeros((2 * n, n), dtype=np.uint8)
+        self.r = np.zeros(2 * n, dtype=np.uint8)
+        self.x[np.arange(n), np.arange(n)] = 1
+        self.z[np.arange(n, 2 * n), np.arange(n)] = 1
+
+    def apply(self, action, qubits):
+        if len(qubits) == 1:
+            a = qubits[0]
+            v = self.x[:, a] | (self.z[:, a] << 1)
+            image = action.bits[v]
+            self.r ^= action.sign[v]
+            self.x[:, a] = image & 1
+            self.z[:, a] = (image >> 1) & 1
+        else:
+            a, b = qubits
+            v = (self.x[:, a] | (self.z[:, a] << 1) |
+                 (self.x[:, b] << 2) | (self.z[:, b] << 3))
+            image = action.bits[v]
+            self.r ^= action.sign[v]
+            self.x[:, a] = image & 1
+            self.z[:, a] = (image >> 1) & 1
+            self.x[:, b] = (image >> 2) & 1
+            self.z[:, b] = (image >> 3) & 1
+
+    def apply_pauli(self, v, qubits):
+        anti = np.zeros(2 * self.num_qubits, dtype=np.uint8)
+        for slot, qubit in enumerate(qubits):
+            if (v >> (2 * slot)) & 1:
+                anti ^= self.z[:, qubit]
+            if (v >> (2 * slot + 1)) & 1:
+                anti ^= self.x[:, qubit]
+        self.r ^= anti
+
+    def _phase_exponent(self, x1, z1, x2, z2):
+        x1 = x1.astype(np.int8)
+        z1 = z1.astype(np.int8)
+        x2 = x2.astype(np.int8)
+        z2 = z2.astype(np.int8)
+        g = np.where(
+            (x1 == 1) & (z1 == 1), z2 - x2,
+            np.where((x1 == 1) & (z1 == 0), z2 * (2 * x2 - 1),
+                     np.where((x1 == 0) & (z1 == 1), x2 * (1 - 2 * z2),
+                              0)))
+        return int(g.sum())
+
+    def _rowsum(self, h, i):
+        total = (2 * int(self.r[h]) + 2 * int(self.r[i]) +
+                 self._phase_exponent(self.x[i], self.z[i],
+                                      self.x[h], self.z[h]))
+        self.r[h] = (total % 4) // 2
+        self.x[h] ^= self.x[i]
+        self.z[h] ^= self.z[i]
+
+    def _deterministic_outcome(self, a):
+        n = self.num_qubits
+        sx = np.zeros(n, dtype=np.uint8)
+        sz = np.zeros(n, dtype=np.uint8)
+        total = 0
+        for i in np.nonzero(self.x[:n, a])[0]:
+            total += (2 * int(self.r[i + n]) +
+                      self._phase_exponent(self.x[i + n], self.z[i + n],
+                                           sx, sz))
+            sx ^= self.x[i + n]
+            sz ^= self.z[i + n]
+        return (total % 4) // 2
+
+    def probability_one(self, a):
+        if self.x[self.num_qubits:, a].any():
+            return 0.5
+        return float(self._deterministic_outcome(a))
+
+    def collapse(self, a, result):
+        n = self.num_qubits
+        anticommuting = np.nonzero(self.x[n:, a])[0]
+        if anticommuting.size == 0:
+            assert self._deterministic_outcome(a) == result
+            return
+        p = int(anticommuting[0]) + n
+        for h in np.nonzero(self.x[:, a])[0]:
+            if h != p:
+                self._rowsum(int(h), p)
+        self.x[p - n] = self.x[p]
+        self.z[p - n] = self.z[p]
+        self.r[p - n] = self.r[p]
+        self.x[p] = 0
+        self.z[p] = 0
+        self.z[p, a] = 1
+        self.r[p] = result
+
+    def measure(self, a, rng):
+        p_one = self.probability_one(a)
+        if p_one == 0.5:
+            result = 1 if rng.random() < 0.5 else 0
+        else:
+            result = int(p_one)
+        self.collapse(a, result)
+        return result
+
+
+def _assert_same_state(packed: StabilizerTableau,
+                       boolean: BooleanTableau) -> None:
+    """Word-level equality: the packed tableau's canonical unpacked
+    image must match the boolean reference bit for bit — state AND
+    phase rows, destabilizers included."""
+    np.testing.assert_array_equal(packed.x_bits(), boolean.x)
+    np.testing.assert_array_equal(packed.z_bits(), boolean.z)
+    np.testing.assert_array_equal(packed.r_bits(), boolean.r)
+
+
+try:
+    from hypothesis import given, settings, strategies as st
+    HAVE_HYPOTHESIS = True
+except ImportError:          # pragma: no cover - baked into the image
+    HAVE_HYPOTHESIS = False
+
+
+@pytest.mark.skipif(not HAVE_HYPOTHESIS, reason="hypothesis missing")
+class TestPackedVsBooleanProperty:
+    """Property tier: the bit-packed tableau is *exactly* the boolean
+    tableau under random Clifford sequences, Pauli injections and
+    measurements — same packed-word state, same phases, same RNG
+    consumption, same outcomes."""
+
+    @staticmethod
+    def _op_strategy():
+        return st.one_of(
+            st.tuples(st.just("1q"),
+                      st.sampled_from(CLIFFORD_1Q),
+                      st.integers(0, 63)),
+            st.tuples(st.just("2q"),
+                      st.sampled_from(CLIFFORD_2Q),
+                      st.integers(0, 63), st.integers(0, 63)),
+            st.tuples(st.just("pauli"),
+                      st.integers(1, 3), st.integers(0, 63)),
+            st.tuples(st.just("measure"), st.integers(0, 63)))
+
+    @given(num_qubits=st.integers(1, 6),
+           seed=st.integers(0, 2 ** 31),
+           ops=st.lists(_op_strategy(), min_size=1, max_size=40))
+    @settings(max_examples=60, deadline=None)
+    def test_random_sequences_equal(self, num_qubits, seed, ops):
+        packed = StabilizerTableau(num_qubits)
+        boolean = BooleanTableau(num_qubits)
+        rng_packed = np.random.default_rng(seed)
+        rng_boolean = np.random.default_rng(seed)
+        for op in ops:
+            if op[0] == "1q":
+                _, name, raw = op
+                targets = (raw % num_qubits,)
+                action = cached_clifford_action(
+                    gates.STANDARD_GATES[name])
+                packed.apply(action, targets)
+                boolean.apply(action, targets)
+            elif op[0] == "2q":
+                if num_qubits < 2:
+                    continue
+                _, name, raw_a, raw_b = op
+                a = raw_a % num_qubits
+                b = raw_b % num_qubits
+                if a == b:
+                    b = (a + 1) % num_qubits
+                action = cached_clifford_action(
+                    gates.STANDARD_GATES[name])
+                packed.apply(action, (a, b))
+                boolean.apply(action, (a, b))
+            elif op[0] == "pauli":
+                _, v, raw = op
+                packed.apply_pauli(v, (raw % num_qubits,))
+                boolean.apply_pauli(v, (raw % num_qubits,))
+            else:
+                _, raw = op
+                qubit = raw % num_qubits
+                assert packed.probability_one(qubit) == \
+                    boolean.probability_one(qubit)
+                assert packed.measure(qubit, rng_packed) == \
+                    boolean.measure(qubit, rng_boolean)
+            _assert_same_state(packed, boolean)
+        # Identical RNG consumption: the packed tableau must draw
+        # exactly the draws the boolean one did, nothing more.
+        assert rng_packed.random() == rng_boolean.random()
+
+    @given(num_qubits=st.integers(65, 80),
+           seed=st.integers(0, 2 ** 31))
+    @settings(max_examples=5, deadline=None)
+    def test_multiword_columns(self, num_qubits, seed):
+        """Past 64 qubits a column spans multiple uint64 words; the
+        packed arithmetic must stay exact across word boundaries."""
+        rng = np.random.default_rng(seed)
+        packed = StabilizerTableau(num_qubits)
+        boolean = BooleanTableau(num_qubits)
+        h = cached_clifford_action(gates.STANDARD_GATES["H"])
+        cz = cached_clifford_action(gates.STANDARD_GATES["CZ"])
+        for _ in range(30):
+            a = int(rng.integers(num_qubits))
+            b = int(rng.integers(num_qubits - 1))
+            b = b if b != a else num_qubits - 1
+            packed.apply(h, (a,))
+            boolean.apply(h, (a,))
+            packed.apply(cz, (a, b))
+            boolean.apply(cz, (a, b))
+        rng_packed = np.random.default_rng(seed + 1)
+        rng_boolean = np.random.default_rng(seed + 1)
+        for qubit in range(0, num_qubits, 7):
+            assert packed.measure(qubit, rng_packed) == \
+                boolean.measure(qubit, rng_boolean)
+        _assert_same_state(packed, boolean)
+
+
+class TestDigestStability:
+    """Regression: the digest-of-state contract survived the
+    bit-packed refactor."""
+
+    def test_same_generators_same_digest(self):
+        """The digest is the pre-refactor hash of the canonical
+        (2n, n) uint8 images — same generators must yield the same
+        digest regardless of the word packing underneath."""
+        backend = StabilizerBackend(3)
+        backend.apply_gate("H", gates.STANDARD_GATES["H"], (0,))
+        backend.apply_gate("CZ", gates.STANDARD_GATES["CZ"], (0, 2))
+        snapshot = backend.snapshot()
+        digest = backend.state_digest(snapshot)
+        # The pre-refactor formula, evaluated on the boolean reference
+        # driven through the identical sequence.
+        boolean = BooleanTableau(3)
+        boolean.apply(cached_clifford_action(
+            gates.STANDARD_GATES["H"]), (0,))
+        boolean.apply(cached_clifford_action(
+            gates.STANDARD_GATES["CZ"]), (0, 2))
+        expected = hash((boolean.x.tobytes(), boolean.z.tobytes(),
+                         boolean.r.tobytes()))
+        assert digest == expected
+
+    def test_digest_insensitive_to_copy(self):
+        backend = StabilizerBackend(4)
+        backend.apply_gate("X90", gates.STANDARD_GATES["X90"], (1,))
+        first = backend.snapshot()
+        second = backend.snapshot()
+        assert backend.state_digest(first) == \
+            backend.state_digest(second)
+
+    def test_digest_detects_any_packed_bit_flip(self):
+        backend = StabilizerBackend(2)
+        backend.apply_gate("H", gates.STANDARD_GATES["H"], (0,))
+        snapshot = backend.snapshot()
+        digest = backend.state_digest(snapshot)
+        rng = np.random.default_rng(5)
+        backend.corrupt_snapshot(snapshot, rng)
+        assert backend.state_digest(snapshot) != digest

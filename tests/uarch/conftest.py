@@ -40,3 +40,10 @@ def pytest_terminal_summary(terminalreporter, exitstatus, config):
                           for name, count in sorted(chaos.items()))
         terminalreporter.write_line(
             f"fault-injection chaos mix over {total} cases — {parts}")
+    frames = getattr(fuzz_module, "FRAME_MIX", None)
+    if frames:
+        total = sum(frames.values())
+        parts = ", ".join(f"{name}: {count}"
+                          for name, count in sorted(frames.items()))
+        terminalreporter.write_line(
+            f"pauli-frame fuzz mix over {total} cases — {parts}")

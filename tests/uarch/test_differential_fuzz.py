@@ -63,6 +63,11 @@ BACKEND_MIX: Counter = Counter()
 #: ladder, survived with nothing fired, or aborted structurally.
 CHAOS_MIX: Counter = Counter()
 
+#: Pauli-frame-shape aggregate (same reporting path): how each
+#: ``pauli_frame`` fuzz case resolved — served by the frame-batched
+#: engine, or statically ineligible (conditional gates in the pool).
+FRAME_MIX: Counter = Counter()
+
 
 def clifford_only_noise() -> NoiseModel:
     """Readout flips only.  Every generated gate is already Clifford,
@@ -316,6 +321,144 @@ def test_interpreter_and_replay_are_equivalent(seed):
     if mock_plan:
         assert (interpreter.measurement_unit.remaining_mock_results(2) ==
                 replay.measurement_unit.remaining_mock_results(2))
+
+
+def pauli_gate_noise() -> NoiseModel:
+    """Stochastic Pauli gate error + readout flips, no decoherence.
+
+    On a Clifford program this lands on the stabilizer backend but
+    *blocks* replay (per-shot trajectory sampling) — exactly the
+    regime the Pauli-frame batched engine serves."""
+    return NoiseModel(
+        decoherence=DecoherenceModel(t1_ns=1e15, t2_ns=1e15),
+        gate_error=GateErrorModel(single_qubit_error=0.03,
+                                  two_qubit_error=0.05))
+
+
+def generate_frame_case(seed: int) -> tuple[str, bool]:
+    """One random Clifford program for the ``pauli_frame`` shape.
+
+    Blocks: single-qubit Clifford gates, CZ on the chip's coupled
+    pair, waits, and plain measurements (1-3 per shot).  A fifth of
+    the cases deliberately include a conditionally executed gate —
+    those must be *refused* by the frame engine's static pass and fall
+    back to the per-shot tableau interpreter transparently.  Returns
+    ``(program_text, expects_frame)``.
+    """
+    rng = np.random.default_rng(seed)
+    include_conditional = bool(rng.random() < 0.2)
+    lines = ["SMIS S0, {0}", "SMIS S2, {2}", "SMIS S3, {0, 2}",
+             "SMIT T0, {(0, 2)}", "QWAIT 10000"]
+    kinds = list(rng.choice(
+        ["gate", "cz", "qwait", "measure"],
+        size=int(rng.integers(5, 12)),
+        p=[0.40, 0.20, 0.15, 0.25]))
+    measurements = 0
+    for kind in kinds:
+        if kind == "measure" and measurements >= 3:
+            kind = "gate"
+        if kind == "gate":
+            target = rng.choice(["S0", "S2"])
+            lines += [f"{rng.choice(GATES)} {target}", "QWAIT 5"]
+        elif kind == "cz":
+            lines += ["CZ T0", "QWAIT 5"]
+        elif kind == "qwait":
+            lines += [f"QWAIT {int(rng.integers(1, 40))}"]
+        else:
+            measurements += 1
+            target = rng.choice(["S0", "S2", "S3"])
+            lines += [f"MEASZ {target}", "QWAIT 50"]
+    if measurements == 0:
+        lines += ["MEASZ S3", "QWAIT 50"]
+    if include_conditional:
+        lines += [f"{rng.choice(CONDITIONAL_GATES)} S2", "QWAIT 5"]
+    lines += ["QWAIT 50", "STOP"]
+    return "\n".join(lines), not include_conditional
+
+
+def run_frame_engine(text: str, seed: int, use_replay: bool,
+                     plant_backend: str = "auto"):
+    """One run of a frame-shape program on one engine/backend."""
+    isa = two_qubit_instantiation()
+    plant = QuantumPlant(isa.topology, noise=pauli_gate_noise(),
+                         rng=np.random.default_rng(seed))
+    machine = QuMAv2(isa, plant, plant_backend=plant_backend)
+    machine.load(Assembler(isa).assemble_text(text))
+    return machine, machine.run(SHOTS, use_replay=use_replay)
+
+
+@pytest.mark.parametrize("seed", range(SEED_COUNT))
+def test_frame_batched_equivalence(seed):
+    """``pauli_frame`` shape: random feedback-free Clifford programs
+    with stochastic Pauli noise, run three ways — Pauli-frame batched,
+    per-shot tableau interpreter, dense density matrix — asserting
+    chi-squared joint-histogram agreement, engine/backend-selection
+    agreement, and per-path timing-bit identity.
+    """
+    text, expects_frame = generate_frame_case(seed)
+
+    frame, frame_traces = run_frame_engine(text, seed=40_000 + seed,
+                                           use_replay=True)
+    tableau, tableau_traces = run_frame_engine(text, seed=50_000 + seed,
+                                               use_replay=False)
+    dense, dense_traces = run_frame_engine(text, seed=60_000 + seed,
+                                           use_replay=True,
+                                           plant_backend="dense")
+
+    # Backend selection: Clifford pool + Pauli/readout noise rides the
+    # tableau on both engine configurations; the dense run is pinned.
+    assert frame.last_plant_backend == "stabilizer", \
+        f"tableau refused: {frame.plant_backend_reason}"
+    assert tableau.last_plant_backend == "stabilizer"
+    assert dense.last_plant_backend == "dense"
+    assert tableau.last_run_engine == "interpreter"
+
+    stats = frame.engine_stats
+    assert stats.shots_total == SHOTS
+    assert stats.interpreter_shots + stats.replay_shots + \
+        stats.frame_batched == SHOTS
+    if expects_frame:
+        assert not frame.frame_batch_unsupported_reasons()
+        assert frame.last_run_engine == "frame"
+        assert stats.engine == "frame"
+        assert stats.frame_batched == SHOTS
+        assert stats.frame_reference_shots == 1
+        assert stats.interpreter_shots == 0
+        FRAME_MIX["frame"] += 1
+    else:
+        # The conditional gate forks the Clifford sequence: the frame
+        # pass must refuse and the run must fall back transparently to
+        # the per-shot tableau interpreter (trajectory noise blocks
+        # replay too).
+        reasons = frame.frame_batch_unsupported_reasons()
+        assert any("conditionally" in reason for reason in reasons)
+        assert frame.last_run_engine == "interpreter"
+        assert stats.frame_batched == 0
+        assert stats.interpreter_shots == SHOTS
+        assert "trajectory" in frame.replay_fallback_reason
+        FRAME_MIX["ineligible (conditional gate)"] += 1
+
+    # Per-path timing-bit identity against the per-shot tableau run.
+    frame_by_path = {}
+    for trace in frame_traces:
+        frame_by_path.setdefault(trace.outcome_path(), trace)
+    tableau_by_path = {}
+    for trace in tableau_traces:
+        tableau_by_path.setdefault(trace.outcome_path(), trace)
+    common = set(frame_by_path) & set(tableau_by_path)
+    assert common, "no outcome path produced by both engines"
+    for path in common:
+        assert_timing_identical(frame_by_path[path],
+                                tableau_by_path[path])
+
+    # Three-way joint-distribution agreement: batched vs per-shot
+    # tableau (the bit-compatibility claim) and batched vs dense (the
+    # physics ground truth).
+    frame_hist = joint_histogram(frame_traces)
+    assert_distributions_agree(frame_hist,
+                               joint_histogram(tableau_traces))
+    assert_distributions_agree(frame_hist,
+                               joint_histogram(dense_traces))
 
 
 #: Sites the chaos shape draws from.  ``snapshot_corrupt`` is omitted

@@ -468,3 +468,122 @@ class TestRetryBackoff:
         setup.run_resilient(assembled, 5)
         assert all("backoff" not in d
                    for d in setup.last_engine_stats.degradations)
+
+
+FRAME_CLIFFORD = """
+SMIS S0, {0}
+SMIS S2, {2}
+SMIS S3, {0, 2}
+SMIT T0, {(0, 2)}
+QWAIT 10000
+H S0
+QWAIT 10
+CZ T0
+QWAIT 10
+X90 S2
+QWAIT 10
+MEASZ S3
+QWAIT 50
+STOP
+"""
+
+
+def make_frame_machine(seed=0):
+    """A frame-eligible machine: Clifford feedback-free program plus
+    stochastic Pauli gate noise (the regime that blocks replay and
+    selects the Pauli-frame batched engine)."""
+    from repro.quantum.noise import DecoherenceModel, GateErrorModel
+    isa = two_qubit_instantiation()
+    noise = NoiseModel(
+        decoherence=DecoherenceModel(t1_ns=1e15, t2_ns=1e15),
+        gate_error=GateErrorModel(single_qubit_error=0.03,
+                                  two_qubit_error=0.05))
+    plant = QuantumPlant(isa.topology, noise=noise,
+                         rng=np.random.default_rng(seed))
+    machine = QuMAv2(isa, plant)
+    machine.load(Assembler(isa).assemble_text(FRAME_CLIFFORD))
+    return machine
+
+
+class TestFrameBatchedChaos:
+    """Faults firing *inside* a frame-batched run.
+
+    The frame engine's whole-run state is one reference shot plus its
+    recording, so any fault there must degrade the entire run
+    gracefully to the per-shot tableau interpreter — every shot still
+    delivered, the rung recorded in ``degradations``, the fault in
+    ``faults_injected``."""
+
+    def test_clean_frame_run(self):
+        machine = make_frame_machine()
+        assert not machine.frame_batch_unsupported_reasons()
+        traces = machine.run(50)
+        stats = machine.engine_stats
+        assert machine.last_run_engine == "frame"
+        assert stats.engine == "frame"
+        assert stats.frame_batched == 50
+        assert stats.frame_reference_shots == 1
+        assert stats.interpreter_shots == 0
+        assert stats.shots_total == 50
+        assert len(traces) == 50
+
+    def test_backend_gate_fault_degrades_to_interpreter(self):
+        machine = make_frame_machine()
+        machine.arm_faults(FaultPlan([FaultSpec("backend_gate",
+                                                shot=0)]))
+        traces = machine.run(30)
+        stats = machine.engine_stats
+        # The fault hit the reference shot; the whole run fell back to
+        # the per-shot tableau interpreter and still delivered.
+        assert len(traces) == 30
+        assert machine.last_run_engine == "interpreter"
+        assert stats.engine == "interpreter"
+        assert stats.frame_batched == 0
+        assert stats.interpreter_shots == 30
+        assert any(d.startswith("frame -> interpreter")
+                   for d in stats.degradations)
+        assert any("backend_gate" in f for f in stats.faults_injected)
+        assert "BackendFaultError" in stats.fallback_reason
+
+    def test_snapshot_corrupt_fault_degrades_to_interpreter(self):
+        machine = make_frame_machine()
+        machine.arm_faults(FaultPlan([FaultSpec("snapshot_corrupt",
+                                                shot=0)]))
+        traces = machine.run(30)
+        stats = machine.engine_stats
+        # The corruption fired during the post-reference snapshot
+        # integrity round-trip; detection (digest mismatch) degraded
+        # the run instead of serving from unverified state.
+        assert len(traces) == 30
+        assert machine.last_run_engine == "interpreter"
+        assert stats.frame_batched == 0
+        assert stats.interpreter_shots == 30
+        assert any(d.startswith("frame -> interpreter")
+                   for d in stats.degradations)
+        assert any("snapshot_corrupt" in f
+                   for f in stats.faults_injected)
+
+    def test_recovery_after_disarm(self):
+        machine = make_frame_machine()
+        machine.arm_faults(FaultPlan([FaultSpec("backend_gate",
+                                                shot=0)]))
+        machine.run(10)
+        machine.disarm_faults()
+        traces = machine.run(20)
+        stats = machine.engine_stats
+        assert len(traces) == 20
+        assert machine.last_run_engine == "frame"
+        assert stats.frame_batched == 20
+        assert not stats.degradations
+        assert not stats.faults_injected
+
+    def test_frame_statistics_match_interpreter_under_no_fault(self):
+        """Sanity anchor for the chaos tests: the degraded path and
+        the frame path sample the same physics."""
+        frame = make_frame_machine(seed=3)
+        frame_traces = frame.run(400)
+        interp = make_frame_machine(seed=4)
+        interp_traces = interp.run(400, use_replay=False)
+        rate = lambda traces: sum(
+            t.results[-1].reported_result for t in traces) / len(traces)
+        assert abs(rate(frame_traces) - rate(interp_traces)) < 0.12
