@@ -1,150 +1,54 @@
-"""Binary instruction encoding/decoding, parameterised by word width.
+"""Binary instruction encoding/decoding, driven by a declarative spec.
 
 The binary format is an *instantiation-time* choice (Section 2.4: "the
-binary format is defined during the instantiation of eQASM").  The
-field layout is derived from :attr:`EQASMInstantiation.instruction_width`
-(``W``); for the paper's 32-bit instantiation it reproduces Fig. 8 bit
-for bit (bit 31 first):
+binary format is defined during the instantiation of eQASM").  Each
+:class:`~repro.core.isa.EQASMInstantiation` carries an
+:class:`~repro.core.isaspec.EncodingSpec` — formats, named bit-fields,
+opcode assignments, and the bundle slot layout as *data* — and the
+encoder/decoder here interpret it generically: encode packs each
+format's fields through its codec
+(:data:`repro.core.isaspec.bindings.CODECS`) into the word, decode
+unpacks the same fields and rebuilds the instruction object through the
+format's class binding
+(:data:`repro.core.isaspec.bindings.FORMAT_BINDINGS`).  The two
+directions share one table, which keeps them inverse by construction;
+there is no per-mnemonic code path.
 
-====================  =================================================
-SMIS                  ``0 | opcode(6) | Sd(5) @ W-12 | pad | mask``
-SMIT                  ``0 | opcode(6) | Td(5) @ W-12 | pad | mask``
-QWAIT                 ``0 | opcode(6) | pad(5) | imm(20)``
-QWAITR                ``0 | opcode(6) | pad(5) | Rs(5) | pad(15)``
-bundle                ``1 | q_op0(9) | st0(5) | q_op1(9) | st1(5) | PI``
-====================  =================================================
+The paper's 32-bit instantiation ships as the registered
+``fig8-32bit`` spec and reproduces Fig. 8 bit for bit (bundle flag at
+bit 31, 6-bit opcode at 30..25, Sd/Td at bit 20, bundle slots at
+22/17/8/3); wider instantiations (``surface17-64bit``,
+``surface49-192bit``) are further spec values of the same family — see
+:mod:`repro.core.isaspec.build` for the layout rules and
+``python -m repro.core.isaspec validate --all --report-dir ...`` for
+rendered field tables.
 
-With ``W = 32`` the Sd/Td fields land at bit 20 and the bundle slots at
-22/17/8/3 — exactly Fig. 8 (``SMIS: pad(13) mask(7)``, ``SMIT: pad(4)
-mask(16)``).  Wider instantiations scale the quantum formats up: the
-17-qubit surface-code chip needs a 48-bit pair mask, which the 64-bit
-instantiation (:func:`repro.core.isa.seventeen_qubit_instantiation`)
-fits below its Td field at bit 52.  Classical formats keep their fixed
-low-bit positions at every width.
-
-The paper leaves classical formats unspecified ("for brevity, we only
-present the format of quantum instructions"); our instantiation uses a
-MIPS-like layout inside the bits below the opcode, documented per
-opcode in :data:`CLASSICAL_OPCODES` and the field tables below:
-
-* R-type (CMP/AND/OR/XOR/ADD/SUB/NOT): ``rd@24..20 rs@19..15 rt@14..10``
-  (CMP leaves rd = 0; NOT leaves rs = 0);
-* LDI: ``rd@24..20 imm20@19..0`` (signed);
-* LDUI: ``rd@24..20 rs@19..15 imm15@14..0``;
-* LD/ST: ``rd|rs@24..20 rt@19..15 imm15@14..0`` (signed);
-* BR: ``cond@24..21 offset21@20..0`` (signed, instructions);
-* FBR: ``cond@24..21 rd@20..16``;
-* FMR: ``rd@24..20 qi@19..15``.
-
-Every encoder validates field ranges and raises
+Every field codec validates its domain and raises
 :class:`~repro.core.errors.EncodingError` on overflow; decode is the
-exact inverse (round-trip tested property-style in the test suite).
+exact inverse (round-trip tested property-style per registered spec in
+the test suite) and raises :class:`~repro.core.errors.DecodingError`
+on unrepresentable words.
 """
 
 from __future__ import annotations
 
 from repro.core.errors import DecodingError, EncodingError
-from repro.core.instructions import (
-    ArithOp,
-    Br,
-    Bundle,
-    BundleOperation,
-    Cmp,
-    Fbr,
-    Fmr,
-    Instruction,
-    Ld,
-    Ldi,
-    Ldui,
-    LogicalOp,
-    Nop,
-    Not,
-    QWait,
-    QWaitR,
-    SMIS,
-    SMIT,
-    St,
-    Stop,
-)
+from repro.core.instructions import Bundle, BundleOperation, Instruction
 from repro.core.isa import EQASMInstantiation
+from repro.core.isaspec.bindings import (
+    CODECS,
+    FORMAT_BINDINGS,
+    check_field,
+    format_name_for,
+)
+from repro.core.isaspec.build import FAMILY_OPCODES
+from repro.core.isaspec.model import BundleSlotSpec, EncodingSpec
 from repro.core.operations import OperationKind
-from repro.core.registers import ComparisonFlag
 
-#: Single-format opcodes (6-bit field at bits 30..25).
-CLASSICAL_OPCODES = {
-    "NOP": 0,
-    "STOP": 1,
-    "CMP": 2,
-    "BR": 3,
-    "FBR": 4,
-    "LDI": 5,
-    "LDUI": 6,
-    "LD": 7,
-    "ST": 8,
-    "FMR": 9,
-    "AND": 10,
-    "OR": 11,
-    "XOR": 12,
-    "NOT": 13,
-    "ADD": 14,
-    "SUB": 15,
-    "SMIS": 16,
-    "SMIT": 17,
-    "QWAIT": 18,
-    "QWAITR": 19,
-}
-
-_OPCODE_TO_MNEMONIC = {value: key for key, value in CLASSICAL_OPCODES.items()}
-
-
-class _WordLayout:
-    """Bit positions of the width-dependent fields for one word size.
-
-    Every shift is expressed relative to the word's top bit so that
-    ``width == 32`` reproduces Fig. 8 exactly; see the module
-    docstring.  Shared by the encoder and the decoder, which keeps the
-    two inverse by construction.
-    """
-
-    def __init__(self, width: int):
-        if width % 8 or width < 32:
-            raise EncodingError(
-                f"instruction width {width} must be a multiple of 8 "
-                f"bits, at least 32")
-        self.width = width
-        self.flag_bit = width - 1          # bundle/single discriminator
-        self.opcode_shift = width - 7      # 6-bit classical opcode
-        self.target_shift = width - 12     # SMIS Sd / SMIT Td (5 bits)
-        self.slot0_op_shift = width - 10   # bundle lane 0 q opcode (9)
-        self.slot0_reg_shift = width - 15  # bundle lane 0 target (5)
-        self.slot1_op_shift = width - 24   # bundle lane 1 q opcode (9)
-        self.slot1_reg_shift = width - 29  # bundle lane 1 target (5)
-
-
-def _check_field(name: str, value: int, width: int) -> int:
-    """Validate an unsigned field value against its width."""
-    if not 0 <= value < (1 << width):
-        raise EncodingError(
-            f"{name} value {value} does not fit in {width} bits")
-    return value
-
-
-def _check_signed_field(name: str, value: int, width: int) -> int:
-    """Validate and two's-complement encode a signed field value."""
-    low = -(1 << (width - 1))
-    high = (1 << (width - 1)) - 1
-    if not low <= value <= high:
-        raise EncodingError(
-            f"{name} value {value} outside signed {width}-bit range "
-            f"[{low}, {high}]")
-    return value & ((1 << width) - 1)
-
-
-def _sign_extend(value: int, width: int) -> int:
-    """Decode a two's-complement field of the given width."""
-    if value & (1 << (width - 1)):
-        return value - (1 << width)
-    return value
+#: Single-format opcodes of the family layout (6-bit field below the
+#: flag bit).  Kept as a module-level table for compatibility; the
+#: authoritative assignment is the instantiation's spec.
+CLASSICAL_OPCODES = dict(FAMILY_OPCODES)
 
 
 class InstructionEncoder:
@@ -152,10 +56,11 @@ class InstructionEncoder:
 
     def __init__(self, isa: EQASMInstantiation):
         self.isa = isa
-        self._layout = _WordLayout(isa.instruction_width)
+        self.spec: EncodingSpec = isa.encoding_spec
+        self._formats = {fmt.name: fmt for fmt in self.spec.formats}
 
     # ------------------------------------------------------------------
-    # Top-level encode
+    # Single-word formats
     # ------------------------------------------------------------------
     def encode(self, instruction: Instruction) -> int:
         """Encode one instruction into an instruction-width word.
@@ -165,138 +70,51 @@ class InstructionEncoder:
         """
         if isinstance(instruction, Bundle):
             return self._encode_bundle(instruction)
-        return self._encode_single(instruction)
-
-    def _single_word(self, mnemonic: str, body: int) -> int:
-        opcode = CLASSICAL_OPCODES[mnemonic]
-        shift = self._layout.opcode_shift
-        if body >= (1 << shift):
-            raise EncodingError(f"{mnemonic} body overflows {shift} bits")
-        return (opcode << shift) | body
-
-    def _encode_single(self, ins: Instruction) -> int:
-        isa = self.isa
-        if isinstance(ins, Nop):
-            return self._single_word("NOP", 0)
-        if isinstance(ins, Stop):
-            return self._single_word("STOP", 0)
-        if isinstance(ins, Cmp):
-            body = (_check_field("Rs", ins.rs, 5) << 15) | \
-                   (_check_field("Rt", ins.rt, 5) << 10)
-            return self._single_word("CMP", body)
-        if isinstance(ins, Br):
-            if isinstance(ins.target, str):
-                raise EncodingError(
-                    f"BR target label {ins.target!r} not resolved")
-            body = (_check_field("cond", int(ins.condition), 4) << 21) | \
-                   _check_signed_field("offset", ins.target, 21)
-            return self._single_word("BR", body)
-        if isinstance(ins, Fbr):
-            body = (_check_field("cond", int(ins.condition), 4) << 21) | \
-                   (_check_field("Rd", ins.rd, 5) << 16)
-            return self._single_word("FBR", body)
-        if isinstance(ins, Ldi):
-            body = (_check_field("Rd", ins.rd, 5) << 20) | \
-                   _check_signed_field("imm", ins.imm, 20)
-            return self._single_word("LDI", body)
-        if isinstance(ins, Ldui):
-            body = (_check_field("Rd", ins.rd, 5) << 20) | \
-                   (_check_field("Rs", ins.rs, 5) << 15) | \
-                   _check_field("imm", ins.imm, 15)
-            return self._single_word("LDUI", body)
-        if isinstance(ins, Ld):
-            body = (_check_field("Rd", ins.rd, 5) << 20) | \
-                   (_check_field("Rt", ins.rt, 5) << 15) | \
-                   _check_signed_field("imm", ins.imm, 15)
-            return self._single_word("LD", body)
-        if isinstance(ins, St):
-            body = (_check_field("Rs", ins.rs, 5) << 20) | \
-                   (_check_field("Rt", ins.rt, 5) << 15) | \
-                   _check_signed_field("imm", ins.imm, 15)
-            return self._single_word("ST", body)
-        if isinstance(ins, Fmr):
-            body = (_check_field("Rd", ins.rd, 5) << 20) | \
-                   (_check_field("Qi", ins.qubit, 5) << 15)
-            return self._single_word("FMR", body)
-        if isinstance(ins, LogicalOp):
-            body = (_check_field("Rd", ins.rd, 5) << 20) | \
-                   (_check_field("Rs", ins.rs, 5) << 15) | \
-                   (_check_field("Rt", ins.rt, 5) << 10)
-            return self._single_word(ins.mnemonic_name, body)
-        if isinstance(ins, Not):
-            body = (_check_field("Rd", ins.rd, 5) << 20) | \
-                   (_check_field("Rt", ins.rt, 5) << 10)
-            return self._single_word("NOT", body)
-        if isinstance(ins, ArithOp):
-            body = (_check_field("Rd", ins.rd, 5) << 20) | \
-                   (_check_field("Rs", ins.rs, 5) << 15) | \
-                   (_check_field("Rt", ins.rt, 5) << 10)
-            return self._single_word(ins.mnemonic_name, body)
-        if isinstance(ins, SMIS):
-            if ins.sd >= isa.num_single_qubit_target_registers:
-                raise EncodingError(f"S{ins.sd} out of range")
-            if isa.qubit_mask_field_width > self._layout.target_shift:
-                raise EncodingError(
-                    f"{isa.qubit_mask_field_width}-bit qubit mask does "
-                    f"not fit below the Sd field of a "
-                    f"{self._layout.width}-bit word")
-            mask = isa.qubit_mask(ins.qubits)
-            body = (_check_field("Sd", ins.sd, 5) <<
-                    self._layout.target_shift) | \
-                _check_field("mask", mask, isa.qubit_mask_field_width)
-            return self._single_word("SMIS", body)
-        if isinstance(ins, SMIT):
-            if ins.td >= isa.num_two_qubit_target_registers:
-                raise EncodingError(f"T{ins.td} out of range")
-            if isa.pair_mask_field_width > self._layout.target_shift:
-                raise EncodingError(
-                    f"{isa.pair_mask_field_width}-bit pair mask does "
-                    f"not fit below the Td field of a "
-                    f"{self._layout.width}-bit word")
-            mask = isa.pair_mask(ins.pairs)
-            body = (_check_field("Td", ins.td, 5) <<
-                    self._layout.target_shift) | \
-                _check_field("mask", mask, isa.pair_mask_field_width)
-            return self._single_word("SMIT", body)
-        if isinstance(ins, QWait):
-            body = _check_field("imm", ins.cycles,
-                                isa.qwait_immediate_width)
-            return self._single_word("QWAIT", body)
-        if isinstance(ins, QWaitR):
-            body = _check_field("Rs", ins.rs, 5) << 15
-            return self._single_word("QWAITR", body)
-        raise EncodingError(f"cannot encode {type(ins).__name__}")
-
-    def _encode_bundle(self, bundle: Bundle) -> int:
-        isa = self.isa
-        layout = self._layout
-        if len(bundle.operations) > isa.vliw_width:
+        name = format_name_for(instruction)
+        fmt = self._formats.get(name) if name is not None else None
+        if fmt is None:
             raise EncodingError(
-                f"bundle holds {len(bundle.operations)} operations; the "
-                f"VLIW width is {isa.vliw_width} (assembler must split)")
-        if isa.vliw_width != 2:
-            raise EncodingError(
-                "the bundle word encodes exactly 2 VLIW slots")
-        _check_field("PI", bundle.pi, isa.pi_width)
-        slots = list(bundle.operations)
-        while len(slots) < isa.vliw_width:
-            slots.append(BundleOperation(name=isa.operations.QNOP_NAME,
-                                         register=None))
-        encoded_slots = [self._encode_slot(slot) for slot in slots]
-        word = 1 << layout.flag_bit
-        word |= encoded_slots[0][0] << layout.slot0_op_shift
-        word |= encoded_slots[0][1] << layout.slot0_reg_shift
-        word |= encoded_slots[1][0] << layout.slot1_op_shift
-        word |= encoded_slots[1][1] << layout.slot1_reg_shift
-        word |= bundle.pi
+                f"cannot encode {type(instruction).__name__}")
+        word = fmt.opcode << self.spec.opcode_offset
+        for field in fmt.fields:
+            encode_value = CODECS[field.codec][0]
+            raw = encode_value(self.isa, field,
+                               getattr(instruction, field.attr))
+            word |= raw << field.offset
         return word
 
-    def _encode_slot(self, slot: BundleOperation) -> tuple[int, int]:
+    # ------------------------------------------------------------------
+    # Bundle words
+    # ------------------------------------------------------------------
+    def _encode_bundle(self, bundle: Bundle) -> int:
+        isa = self.isa
+        spec = self.spec.bundle
+        if spec is None:
+            raise EncodingError(
+                f"spec {self.spec.name} defines no bundle word")
+        if len(bundle.operations) > len(spec.slots):
+            raise EncodingError(
+                f"bundle holds {len(bundle.operations)} operations; the "
+                f"VLIW width is {len(spec.slots)} (assembler must split)")
+        check_field("PI", bundle.pi, spec.pi_width)
+        slots = list(bundle.operations)
+        while len(slots) < len(spec.slots):
+            slots.append(BundleOperation(name=isa.operations.QNOP_NAME,
+                                         register=None))
+        word = (1 << spec.flag_bit) | (bundle.pi << spec.pi_offset)
+        for slot_spec, slot in zip(spec.slots, slots):
+            opcode, register_index = self._encode_slot(slot, slot_spec)
+            word |= opcode << slot_spec.op_offset
+            word |= register_index << slot_spec.reg_offset
+        return word
+
+    def _encode_slot(self, slot: BundleOperation,
+                     slot_spec: BundleSlotSpec) -> tuple[int, int]:
         """Encode one VLIW slot to (q_opcode, target_register_index)."""
         isa = self.isa
         operation = isa.operations.get(slot.name)
         opcode = isa.operations.opcode(slot.name)
-        _check_field("q opcode", opcode, isa.q_opcode_width)
+        check_field("q opcode", opcode, slot_spec.op_width)
         if operation.kind is OperationKind.NOP:
             if slot.register is not None:
                 raise EncodingError("QNOP takes no target register")
@@ -313,8 +131,7 @@ class InstructionEncoder:
                  else isa.num_single_qubit_target_registers)
         if index >= limit:
             raise EncodingError(f"{kind}{index} out of range")
-        _check_field("target register", index,
-                     isa.target_register_address_width)
+        check_field("target register", index, slot_spec.reg_width)
         return opcode, index
 
 
@@ -323,97 +140,44 @@ class InstructionDecoder:
 
     def __init__(self, isa: EQASMInstantiation):
         self.isa = isa
-        self._layout = _WordLayout(isa.instruction_width)
+        self.spec: EncodingSpec = isa.encoding_spec
+        self._by_opcode = self.spec.opcode_table()
 
     def decode(self, word: int) -> Instruction:
         """Decode one instruction-width word."""
-        layout = self._layout
-        if not 0 <= word < (1 << layout.width):
+        spec = self.spec
+        if not 0 <= word < (1 << spec.instruction_width):
             raise DecodingError(
-                f"word {word:#x} is not {layout.width} bits")
-        if (word >> layout.flag_bit) & 1:
+                f"word {word:#x} is not {spec.instruction_width} bits")
+        if spec.bundle is not None and (word >> spec.bundle.flag_bit) & 1:
             return self._decode_bundle(word)
         return self._decode_single(word)
 
-    @staticmethod
-    def _decode_condition(word: int) -> ComparisonFlag:
-        value = (word >> 21) & 0xF
-        try:
-            return ComparisonFlag(value)
-        except ValueError:
-            raise DecodingError(f"invalid comparison-flag encoding {value}")
-
     def _decode_single(self, word: int) -> Instruction:
-        isa = self.isa
-        opcode = (word >> self._layout.opcode_shift) & 0x3F
-        mnemonic = _OPCODE_TO_MNEMONIC.get(opcode)
-        if mnemonic is None:
+        spec = self.spec
+        opcode = (word >> spec.opcode_offset) & \
+            ((1 << spec.opcode_width) - 1)
+        fmt = self._by_opcode.get(opcode)
+        if fmt is None:
             raise DecodingError(f"unknown single-format opcode {opcode}")
-        rd = (word >> 20) & 0x1F
-        rs = (word >> 15) & 0x1F
-        rt = (word >> 10) & 0x1F
-        if mnemonic == "NOP":
-            return Nop()
-        if mnemonic == "STOP":
-            return Stop()
-        if mnemonic == "CMP":
-            return Cmp(rs=rs, rt=rt)
-        if mnemonic == "BR":
-            condition = self._decode_condition(word)
-            offset = _sign_extend(word & 0x1FFFFF, 21)
-            return Br(condition=condition, target=offset)
-        if mnemonic == "FBR":
-            condition = self._decode_condition(word)
-            return Fbr(condition=condition, rd=(word >> 16) & 0x1F)
-        if mnemonic == "LDI":
-            return Ldi(rd=rd, imm=_sign_extend(word & 0xFFFFF, 20))
-        if mnemonic == "LDUI":
-            return Ldui(rd=rd, rs=rs, imm=word & 0x7FFF)
-        if mnemonic == "LD":
-            return Ld(rd=rd, rt=rs, imm=_sign_extend(word & 0x7FFF, 15))
-        if mnemonic == "ST":
-            return St(rs=rd, rt=rs, imm=_sign_extend(word & 0x7FFF, 15))
-        if mnemonic == "FMR":
-            return Fmr(rd=rd, qubit=rs)
-        if mnemonic in ("AND", "OR", "XOR"):
-            return LogicalOp(mnemonic_name=mnemonic, rd=rd, rs=rs, rt=rt)
-        if mnemonic == "NOT":
-            return Not(rd=rd, rt=rt)
-        if mnemonic in ("ADD", "SUB"):
-            return ArithOp(mnemonic_name=mnemonic, rd=rd, rs=rs, rt=rt)
-        if mnemonic == "SMIS":
-            sd = (word >> self._layout.target_shift) & 0x1F
-            mask = word & ((1 << isa.qubit_mask_field_width) - 1)
-            qubits = isa.qubits_from_mask(mask)
-            if not qubits:
-                raise DecodingError("SMIS with empty mask")
-            return SMIS(sd=sd, qubits=frozenset(qubits))
-        if mnemonic == "SMIT":
-            td = (word >> self._layout.target_shift) & 0x1F
-            mask = word & ((1 << isa.pair_mask_field_width) - 1)
-            pairs = isa.pairs_from_mask(mask)
-            if not pairs:
-                raise DecodingError("SMIT with empty mask")
-            return SMIT(td=td, pairs=frozenset(pairs))
-        if mnemonic == "QWAIT":
-            return QWait(
-                cycles=word & ((1 << isa.qwait_immediate_width) - 1))
-        if mnemonic == "QWAITR":
-            return QWaitR(rs=rs)
-        raise DecodingError(f"unhandled mnemonic {mnemonic}")
+        cls, fixed = FORMAT_BINDINGS[fmt.name]
+        kwargs = dict(fixed)
+        for field in fmt.fields:
+            raw = (word >> field.offset) & ((1 << field.width) - 1)
+            decode_value = CODECS[field.codec][1]
+            kwargs[field.attr] = decode_value(self.isa, field, raw)
+        return cls(**kwargs)
 
     def _decode_bundle(self, word: int) -> Bundle:
         isa = self.isa
-        layout = self._layout
-        pi = word & ((1 << isa.pi_width) - 1)
-        raw_slots = [
-            ((word >> layout.slot0_op_shift) & 0x1FF,
-             (word >> layout.slot0_reg_shift) & 0x1F),
-            ((word >> layout.slot1_op_shift) & 0x1FF,
-             (word >> layout.slot1_reg_shift) & 0x1F),
-        ]
+        spec = self.spec.bundle
+        pi = (word >> spec.pi_offset) & ((1 << spec.pi_width) - 1)
         operations = []
-        for opcode, register_index in raw_slots:
+        for slot_spec in spec.slots:
+            opcode = (word >> slot_spec.op_offset) & \
+                ((1 << slot_spec.op_width) - 1)
+            register_index = (word >> slot_spec.reg_offset) & \
+                ((1 << slot_spec.reg_width) - 1)
             name = isa.operations.name_for_opcode(opcode)
             operation = isa.operations.get(name)
             if operation.kind is OperationKind.NOP:

@@ -52,6 +52,13 @@ class ConfigurationError(EQASMError):
     referencing an unknown micro-operation."""
 
 
+class SpecError(ConfigurationError):
+    """Raised when a declarative encoding spec is malformed or fails
+    validation (overlapping fields, opcode collisions, a format whose
+    fields do not cover its instruction class — see
+    :func:`repro.core.isaspec.validate_spec`)."""
+
+
 class RuntimeFault(EQASMError):
     """Base class for faults detected while the microarchitecture runs."""
 

@@ -14,9 +14,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.errors import ConfigurationError
+from repro.core.isaspec.build import build_encoding_spec
+from repro.core.isaspec.model import EncodingSpec
+from repro.core.isaspec.registry import load_registered_spec
+from repro.core.isaspec.validate import ensure_valid
 from repro.core.operations import OperationSet, default_operation_set
 from repro.topology.chip import QuantumChipTopology
-from repro.topology.library import surface7, surface17, two_qubit_chip
+from repro.topology.library import surface7, surface17, surface49, two_qubit_chip
 
 
 @dataclass
@@ -46,6 +50,10 @@ class EQASMInstantiation:
     target_register_address_width: int = 5
     cycle_time_ns: float = 20.0
     measurement_cycles: int = 15
+    #: The declarative binary format (see :mod:`repro.core.isaspec`).
+    #: ``None`` builds the family layout from the width parameters
+    #: above; registered instantiations pass a checked-in spec value.
+    encoding_spec: EncodingSpec | None = None
 
     def __post_init__(self) -> None:
         if self.vliw_width < 1:
@@ -83,6 +91,75 @@ class EQASMInstantiation:
                 f"{self.pair_mask_field_width}-bit pair masks do not "
                 f"fit a {self.instruction_width}-bit word (at most "
                 f"{mask_room}); widen the instruction format")
+        if self.encoding_spec is None:
+            self.encoding_spec = build_encoding_spec(
+                self.name,
+                self.instruction_width,
+                qubit_mask_field_width=self.qubit_mask_field_width,
+                pair_mask_field_width=self.pair_mask_field_width,
+                qwait_immediate_width=self.qwait_immediate_width,
+                q_opcode_width=self.q_opcode_width,
+                target_register_address_width=(
+                    self.target_register_address_width),
+                vliw_width=self.vliw_width,
+                pi_width=self.pi_width,
+            )
+        ensure_valid(self.encoding_spec)
+        self._cross_validate_spec()
+
+    def _cross_validate_spec(self) -> None:
+        """Check the spec agrees with this instantiation's parameters
+        and can address its chip."""
+        spec = self.encoding_spec
+
+        def mismatch(what: str, spec_value, isa_value) -> None:
+            raise ConfigurationError(
+                f"encoding spec {spec.name!r} {what} ({spec_value}) does "
+                f"not match instantiation {self.name!r} ({isa_value})")
+
+        if spec.instruction_width != self.instruction_width:
+            mismatch("instruction width", spec.instruction_width,
+                     self.instruction_width)
+        field_widths = {
+            ("SMIS", "qubits"): self.qubit_mask_field_width,
+            ("SMIT", "pairs"): self.pair_mask_field_width,
+            ("QWAIT", "cycles"): self.qwait_immediate_width,
+        }
+        for (format_name, attr), expected in field_widths.items():
+            fmt = spec.format_named(format_name)
+            for spec_field in fmt.fields if fmt else ():
+                if spec_field.attr == attr and \
+                        spec_field.width != expected:
+                    mismatch(f"{format_name} {spec_field.name} width",
+                             spec_field.width, expected)
+        fmr = spec.format_named("FMR")
+        if fmr is not None and self.topology.qubits:
+            max_qubit = max(self.topology.qubits)
+            for spec_field in fmr.fields:
+                if spec_field.attr == "qubit" and \
+                        max_qubit >= (1 << spec_field.width):
+                    raise ConfigurationError(
+                        f"chip {self.topology.name} has qubit addresses "
+                        f"up to {max_qubit}; the spec's {spec_field.width}"
+                        f"-bit FMR Qi field cannot address them — widen "
+                        f"the field in the encoding spec")
+        bundle = spec.bundle
+        if bundle is None:
+            raise ConfigurationError(
+                f"encoding spec {spec.name!r} defines no bundle word; "
+                f"quantum instructions cannot be encoded")
+        if len(bundle.slots) != self.vliw_width:
+            mismatch("VLIW slot count", len(bundle.slots),
+                     self.vliw_width)
+        if bundle.pi_width != self.pi_width:
+            mismatch("PI width", bundle.pi_width, self.pi_width)
+        for slot in bundle.slots:
+            if slot.op_width != self.q_opcode_width:
+                mismatch("bundle q-opcode width", slot.op_width,
+                         self.q_opcode_width)
+            if slot.reg_width != self.target_register_address_width:
+                mismatch("bundle target-register width", slot.reg_width,
+                         self.target_register_address_width)
 
     # ------------------------------------------------------------------
     # Derived limits
@@ -151,6 +228,7 @@ def seven_qubit_instantiation(
         name="eqasm-7q-32bit",
         topology=surface7(),
         operations=operations or default_operation_set(),
+        encoding_spec=load_registered_spec("fig8-32bit"),
     )
 
 
@@ -173,6 +251,33 @@ def seventeen_qubit_instantiation(
         instruction_width=64,
         qubit_mask_field_width=17,
         pair_mask_field_width=48,
+        encoding_spec=load_registered_spec("surface17-64bit"),
+    )
+
+
+def forty_nine_qubit_instantiation(
+        operations: OperationSet | None = None) -> EQASMInstantiation:
+    """A 192-bit instantiation for the distance-5 surface-49 chip.
+
+    The rotated distance-5 code has 25 data + 24 ancilla qubits and 80
+    couplings — 160 directed pairs, so SMIT needs a 160-bit pair mask.
+    Under the family layout (masks live in the bits below the
+    target-register field, 12 bits down from the word top) the smallest
+    byte-multiple word with that much room is 192 bits.  The chip also
+    has qubit addresses up to 48, past a 5-bit FMR Qi field; the
+    registered ``surface49-192bit`` spec widens Qi to 6 bits (moved to
+    offset 14 so it stays clear of Rd at bit 20 — the overlap the spec
+    validator would otherwise reject).  No hand-written layout exists
+    for this width: the format is entirely the spec value.
+    """
+    return EQASMInstantiation(
+        name="eqasm-49q-192bit",
+        topology=surface49(),
+        operations=operations or default_operation_set(),
+        instruction_width=192,
+        qubit_mask_field_width=49,
+        pair_mask_field_width=160,
+        encoding_spec=load_registered_spec("surface49-192bit"),
     )
 
 
@@ -185,4 +290,5 @@ def two_qubit_instantiation(
         name="eqasm-2q-32bit",
         topology=two_qubit_chip(),
         operations=operations or default_operation_set(),
+        encoding_spec=load_registered_spec("fig8-32bit"),
     )

@@ -1,0 +1,208 @@
+"""Bindings from spec data to the instruction taxonomy.
+
+The spec model (:mod:`.model`) is pure data; this module supplies the
+two code-side tables the generic encoder/decoder interprets it with:
+
+* :data:`FORMAT_BINDINGS` — format name -> (instruction class, fixed
+  constructor kwargs).  Formats sharing a class (AND/OR/XOR on
+  ``LogicalOp``, ADD/SUB on ``ArithOp``) differ only in the fixed
+  ``mnemonic_name`` kwarg, which is also how the encoder picks the
+  format for an instruction object (:func:`format_name_for`).
+* :data:`CODECS` — codec name -> (encode, decode) pair translating an
+  instruction attribute value to/from the raw unsigned field value.
+  Codecs receive the instantiation so mask codecs can consult the
+  topology and register codecs the register-file sizes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable
+
+from repro.core.errors import DecodingError, EncodingError
+from repro.core.instructions import (
+    ArithOp,
+    Br,
+    Cmp,
+    Fbr,
+    Fmr,
+    Ld,
+    Ldi,
+    Ldui,
+    LogicalOp,
+    Nop,
+    Not,
+    QWait,
+    QWaitR,
+    SMIS,
+    SMIT,
+    St,
+    Stop,
+)
+from repro.core.isaspec.model import FieldSpec
+from repro.core.registers import ComparisonFlag
+
+#: Format name -> (instruction class, fixed constructor kwargs).  One
+#: entry per single-word format of the eQASM taxonomy; a spec is
+#: *exhaustive* when its format names equal this table's keys (checked
+#: by :func:`repro.core.isaspec.validate_spec`).
+FORMAT_BINDINGS: dict[str, tuple[type, dict[str, object]]] = {
+    "NOP": (Nop, {}),
+    "STOP": (Stop, {}),
+    "CMP": (Cmp, {}),
+    "BR": (Br, {}),
+    "FBR": (Fbr, {}),
+    "LDI": (Ldi, {}),
+    "LDUI": (Ldui, {}),
+    "LD": (Ld, {}),
+    "ST": (St, {}),
+    "FMR": (Fmr, {}),
+    "AND": (LogicalOp, {"mnemonic_name": "AND"}),
+    "OR": (LogicalOp, {"mnemonic_name": "OR"}),
+    "XOR": (LogicalOp, {"mnemonic_name": "XOR"}),
+    "NOT": (Not, {}),
+    "ADD": (ArithOp, {"mnemonic_name": "ADD"}),
+    "SUB": (ArithOp, {"mnemonic_name": "SUB"}),
+    "SMIS": (SMIS, {}),
+    "SMIT": (SMIT, {}),
+    "QWAIT": (QWait, {}),
+    "QWAITR": (QWaitR, {}),
+}
+
+_ENCODE_KEY_TO_FORMAT: dict[tuple[type, str | None], str] = {
+    (cls, fixed.get("mnemonic_name")): name
+    for name, (cls, fixed) in FORMAT_BINDINGS.items()
+}
+
+
+def format_name_for(instruction) -> str | None:
+    """Resolve the format name an instruction object encodes under."""
+    key = (type(instruction), getattr(instruction, "mnemonic_name", None))
+    return _ENCODE_KEY_TO_FORMAT.get(key)
+
+
+def required_attrs(format_name: str) -> frozenset[str]:
+    """Constructor attributes the format's fields must supply: the
+    bound class's no-default dataclass fields minus the fixed kwargs."""
+    cls, fixed = FORMAT_BINDINGS[format_name]
+    required = set()
+    for f in dataclasses.fields(cls):
+        if f.default is dataclasses.MISSING and \
+                f.default_factory is dataclasses.MISSING:
+            required.add(f.name)
+    return frozenset(required - set(fixed))
+
+
+# ----------------------------------------------------------------------
+# Field codecs
+# ----------------------------------------------------------------------
+def check_field(name: str, value: int, width: int) -> int:
+    """Validate an unsigned field value against its width."""
+    if not isinstance(value, int) or not 0 <= value < (1 << width):
+        raise EncodingError(
+            f"{name} value {value} does not fit in {width} bits")
+    return value
+
+
+def check_signed_field(name: str, value: int, width: int) -> int:
+    """Validate and two's-complement encode a signed field value."""
+    low = -(1 << (width - 1))
+    high = (1 << (width - 1)) - 1
+    if not low <= value <= high:
+        raise EncodingError(
+            f"{name} value {value} outside signed {width}-bit range "
+            f"[{low}, {high}]")
+    return value & ((1 << width) - 1)
+
+
+def sign_extend(value: int, width: int) -> int:
+    """Decode a two's-complement field of the given width."""
+    if value & (1 << (width - 1)):
+        return value - (1 << width)
+    return value
+
+
+def _encode_uint(isa, field: FieldSpec, value):
+    return check_field(field.name, value, field.width)
+
+
+def _decode_uint(isa, field: FieldSpec, raw: int):
+    return raw
+
+
+def _encode_int(isa, field: FieldSpec, value):
+    return check_signed_field(field.name, value, field.width)
+
+
+def _decode_int(isa, field: FieldSpec, raw: int):
+    return sign_extend(raw, field.width)
+
+
+def _encode_branch_offset(isa, field: FieldSpec, value):
+    if isinstance(value, str):
+        raise EncodingError(f"BR target label {value!r} not resolved")
+    return check_signed_field(field.name, value, field.width)
+
+
+def _encode_condition(isa, field: FieldSpec, value):
+    return check_field(field.name, int(value), field.width)
+
+
+def _decode_condition(isa, field: FieldSpec, raw: int):
+    try:
+        return ComparisonFlag(raw)
+    except ValueError:
+        raise DecodingError(f"invalid comparison-flag encoding {raw}")
+
+
+def _encode_qubit_mask(isa, field: FieldSpec, value):
+    return check_field(field.name, isa.qubit_mask(value), field.width)
+
+
+def _decode_qubit_mask(isa, field: FieldSpec, raw: int):
+    qubits = isa.qubits_from_mask(raw)
+    if not qubits:
+        raise DecodingError("SMIS with empty mask")
+    return frozenset(qubits)
+
+
+def _encode_pair_mask(isa, field: FieldSpec, value):
+    return check_field(field.name, isa.pair_mask(value), field.width)
+
+
+def _decode_pair_mask(isa, field: FieldSpec, raw: int):
+    pairs = isa.pairs_from_mask(raw)
+    if not pairs:
+        raise DecodingError("SMIT with empty mask")
+    return frozenset(pairs)
+
+
+def _encode_sreg(isa, field: FieldSpec, value):
+    if not isinstance(value, int) or not 0 <= value < \
+            isa.num_single_qubit_target_registers:
+        raise EncodingError(f"S{value} out of range")
+    return check_field(field.name, value, field.width)
+
+
+def _encode_treg(isa, field: FieldSpec, value):
+    if not isinstance(value, int) or not 0 <= value < \
+            isa.num_two_qubit_target_registers:
+        raise EncodingError(f"T{value} out of range")
+    return check_field(field.name, value, field.width)
+
+
+#: Codec name -> (encode, decode).  encode(isa, field, attribute_value)
+#: returns the raw unsigned field value (raising
+#: :class:`~repro.core.errors.EncodingError` on domain violations);
+#: decode(isa, field, raw) is its inverse (raising
+#: :class:`~repro.core.errors.DecodingError` on unrepresentable words).
+CODECS: dict[str, tuple[Callable, Callable]] = {
+    "uint": (_encode_uint, _decode_uint),
+    "int": (_encode_int, _decode_int),
+    "branch_offset": (_encode_branch_offset, _decode_int),
+    "condition": (_encode_condition, _decode_condition),
+    "qubit_mask": (_encode_qubit_mask, _decode_qubit_mask),
+    "pair_mask": (_encode_pair_mask, _decode_pair_mask),
+    "sreg": (_encode_sreg, _decode_uint),
+    "treg": (_encode_treg, _decode_uint),
+}

@@ -1,0 +1,94 @@
+"""Registered encoding specs: the checked-in JSON spec files.
+
+Each registered instantiation's binary format lives as a JSON dump
+under ``specs/`` next to this module; the factories in
+:mod:`repro.core.isa` load them from here.  Loaded specs are validated
+(:func:`~.validate.ensure_valid`) before use, so a hand-edited spec
+file that breaks an invariant fails at load time, not at encode time.
+
+Regenerate the files after changing :mod:`.build` with::
+
+    PYTHONPATH=src python -m repro.core.isaspec regenerate
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from pathlib import Path
+
+from repro.core.errors import SpecError
+from repro.core.isaspec.build import build_encoding_spec
+from repro.core.isaspec.model import EncodingSpec
+from repro.core.isaspec.validate import ensure_valid
+
+SPEC_DIR = Path(__file__).parent / "specs"
+
+#: Registered spec name -> builder parameters.  The JSON files under
+#: ``specs/`` are dumps of ``build_encoding_spec(name, **params)``;
+#: ``regenerate`` rewrites them and the load path cross-checks against
+#: the file, so drift between builder and file is loud.
+REGISTERED_SPECS: dict[str, dict] = {
+    "fig8-32bit": dict(
+        instruction_width=32,
+        qubit_mask_field_width=7,
+        pair_mask_field_width=16,
+    ),
+    "surface17-64bit": dict(
+        instruction_width=64,
+        qubit_mask_field_width=17,
+        pair_mask_field_width=48,
+    ),
+    "surface49-192bit": dict(
+        instruction_width=192,
+        qubit_mask_field_width=49,
+        pair_mask_field_width=160,
+        fmr_qubit_offset=14,
+        fmr_qubit_width=6,
+    ),
+}
+
+
+def spec_path(name: str) -> Path:
+    return SPEC_DIR / f"{name}.json"
+
+
+def registered_spec_names() -> tuple[str, ...]:
+    return tuple(REGISTERED_SPECS)
+
+
+@lru_cache(maxsize=None)
+def load_registered_spec(name: str) -> EncodingSpec:
+    """Load, validate, and cache one registered spec from its file."""
+    if name not in REGISTERED_SPECS:
+        raise SpecError(
+            f"no registered encoding spec named {name!r}; "
+            f"registered: {', '.join(REGISTERED_SPECS)}")
+    path = spec_path(name)
+    if not path.exists():
+        raise SpecError(
+            f"registered spec file {path} is missing; run "
+            f"`python -m repro.core.isaspec regenerate`")
+    spec = EncodingSpec.from_json(path.read_text())
+    if spec.name != name:
+        raise SpecError(
+            f"spec file {path} names itself {spec.name!r}, "
+            f"expected {name!r}")
+    return ensure_valid(spec)
+
+
+def built_spec(name: str) -> EncodingSpec:
+    """Build the registered spec from its parameters (not the file)."""
+    return build_encoding_spec(name, **REGISTERED_SPECS[name])
+
+
+def regenerate(spec_dir: Path | None = None) -> list[Path]:
+    """Rewrite every registered spec file from the builder."""
+    directory = spec_dir or SPEC_DIR
+    directory.mkdir(parents=True, exist_ok=True)
+    written = []
+    for name in REGISTERED_SPECS:
+        spec = ensure_valid(built_spec(name))
+        path = directory / f"{name}.json"
+        path.write_text(spec.to_json())
+        written.append(path)
+    return written

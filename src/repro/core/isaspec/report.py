@@ -1,0 +1,77 @@
+"""Render an encoding spec as a human-reviewable markdown report.
+
+The report is the document-shaped view of the spec — one field table
+per format plus the bundle-word layout — mirroring how the CC-Light
+eQASM Architecture Specification presents its encoding.  The CI step
+(`python -m repro.core.isaspec validate --all --report-dir ...`)
+publishes one report per registered instantiation as a build artifact.
+"""
+
+from __future__ import annotations
+
+from repro.core.isaspec.model import EncodingSpec, FormatSpec
+
+
+def _format_table(spec: EncodingSpec, fmt: FormatSpec) -> list[str]:
+    lines = [
+        f"### `{fmt.name}` (opcode {fmt.opcode})",
+        "",
+        "| field | bits | width | codec | binds |",
+        "|---|---|---|---|---|",
+        f"| opcode | {spec.opcode_offset + spec.opcode_width - 1}.."
+        f"{spec.opcode_offset} | {spec.opcode_width} | uint |"
+        f" = {fmt.opcode} |",
+    ]
+    for field in sorted(fmt.fields, key=lambda f: -f.offset):
+        lines.append(
+            f"| {field.name} | {field.bit_range()} | {field.width} "
+            f"| {field.codec} | `{field.attr}` |")
+    lines.append("")
+    return lines
+
+
+def render_report(spec: EncodingSpec) -> str:
+    """Render the full markdown encoding report for one spec."""
+    width = spec.instruction_width
+    lines = [
+        f"# Encoding report: `{spec.name}`",
+        "",
+        f"- instruction width: **{width} bits**",
+        f"- opcode field: bits {spec.opcode_offset + spec.opcode_width - 1}"
+        f"..{spec.opcode_offset} ({spec.opcode_width} bits)",
+        f"- single-word formats: {len(spec.formats)}",
+    ]
+    if spec.bundle is not None:
+        lines.append(
+            f"- bundle word: flag bit {spec.bundle.flag_bit}, "
+            f"{len(spec.bundle.slots)} VLIW slots, "
+            f"PI bits {spec.bundle.pi_offset + spec.bundle.pi_width - 1}"
+            f"..{spec.bundle.pi_offset}")
+    lines.append("")
+    lines.append("## Single-word formats")
+    lines.append("")
+    for fmt in sorted(spec.formats, key=lambda f: f.opcode):
+        lines.extend(_format_table(spec, fmt))
+    if spec.bundle is not None:
+        bundle = spec.bundle
+        lines.extend([
+            "## Bundle word",
+            "",
+            "| field | bits | width |",
+            "|---|---|---|",
+            f"| flag (=1) | {bundle.flag_bit} | 1 |",
+        ])
+        for index, slot in enumerate(bundle.slots):
+            op_msb = slot.op_offset + slot.op_width - 1
+            reg_msb = slot.reg_offset + slot.reg_width - 1
+            lines.append(
+                f"| slot {index} q opcode | {op_msb}..{slot.op_offset} "
+                f"| {slot.op_width} |")
+            lines.append(
+                f"| slot {index} target reg | {reg_msb}.."
+                f"{slot.reg_offset} | {slot.reg_width} |")
+        pi_msb = bundle.pi_offset + bundle.pi_width - 1
+        lines.append(
+            f"| PI | {pi_msb}..{bundle.pi_offset} | {bundle.pi_width} |")
+        lines.append("")
+    return "\n".join(lines)

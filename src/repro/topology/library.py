@@ -104,6 +104,92 @@ def surface17() -> QuantumChipTopology:
     )
 
 
+def rotated_surface_checks(
+        distance: int) -> tuple[dict[int, tuple[int, ...]],
+                                dict[int, tuple[int, ...]]]:
+    """Stabilizers of the rotated distance-``d`` surface code.
+
+    Data qubits are ``0 .. d*d - 1`` (row-major ``d x d`` grid); one
+    ancilla per stabilizer follows, Z checks first, then X, each group
+    in plaquette row-major order.  Plaquette ``(r, c)`` (corners of the
+    dual lattice, ``0 <= r, c <= d``) touches the up-to-four data
+    qubits around it and measures Z when ``r + c`` is even, X when odd;
+    the bulk keeps every weight-4 plaquette, the boundary keeps the
+    weight-2 X checks on the top/bottom rows and the weight-2 Z checks
+    on the left/right columns.  ``rotated_surface_checks(3)``
+    reproduces :data:`SURFACE17_Z_CHECKS` / :data:`SURFACE17_X_CHECKS`
+    exactly (up to the hand-chosen ancilla order).
+    """
+    z_plaquettes: list[tuple[int, ...]] = []
+    x_plaquettes: list[tuple[int, ...]] = []
+    for row in range(distance + 1):
+        for col in range(distance + 1):
+            data = tuple(
+                r * distance + c
+                for r, c in ((row - 1, col - 1), (row - 1, col),
+                             (row, col - 1), (row, col))
+                if 0 <= r < distance and 0 <= c < distance)
+            is_z = (row + col) % 2 == 0
+            if len(data) == 4:
+                (z_plaquettes if is_z else x_plaquettes).append(data)
+            elif len(data) == 2:
+                # Boundary: X checks terminate the top/bottom edges,
+                # Z checks the left/right edges.
+                if is_z and col in (0, distance):
+                    z_plaquettes.append(data)
+                elif not is_z and row in (0, distance):
+                    x_plaquettes.append(data)
+    ancilla = distance * distance
+    z_checks = {}
+    for data in z_plaquettes:
+        z_checks[ancilla] = data
+        ancilla += 1
+    x_checks = {}
+    for data in x_plaquettes:
+        x_checks[ancilla] = data
+        ancilla += 1
+    return z_checks, x_checks
+
+
+#: Surface-49 layout: 5x5 data-qubit grid (addresses 0..24, row-major)
+#: plus 24 ancillas (25..36 Z, 37..48 X), one per stabilizer of the
+#: rotated distance-5 surface code.
+SURFACE49_DATA_QUBITS = tuple(range(25))
+SURFACE49_Z_CHECKS, SURFACE49_X_CHECKS = rotated_surface_checks(5)
+
+
+def surface49() -> QuantumChipTopology:
+    """The 49-qubit distance-5 surface-code chip.
+
+    The scaling step past :func:`surface17`: 80 ancilla-data couplings
+    (16 weight-4 plaquettes plus 8 weight-2 boundary checks), so the
+    same two-directions-per-coupling addressing — ancilla-as-source at
+    address ``i``, the reverse at ``i + 80`` — needs a 160-bit pair
+    mask.  No hand-written word layout covers that; the chip is served
+    by the 192-bit spec-driven instantiation
+    (:func:`repro.core.isa.forty_nine_qubit_instantiation`).  Readout
+    is frequency-multiplexed over five feedlines of at most ten qubits.
+    """
+    forward: list[tuple[int, int]] = []
+    for checks in (SURFACE49_Z_CHECKS, SURFACE49_X_CHECKS):
+        for ancilla, data in checks.items():
+            forward.extend((ancilla, qubit) for qubit in data)
+    pairs = []
+    for address, (source, target) in enumerate(forward):
+        pairs.append(QubitPair(address=address, source=source,
+                               target=target))
+        pairs.append(QubitPair(address=address + len(forward),
+                               source=target, target=source))
+    qubits = tuple(range(49))
+    return QuantumChipTopology(
+        name="surface-49",
+        qubits=qubits,
+        pairs=tuple(pairs),
+        feedlines={line: qubits[line * 10:(line + 1) * 10]
+                   for line in range(5)},
+    )
+
+
 def two_qubit_chip() -> QuantumChipTopology:
     """The two-qubit processor used for the experiments in Section 5.
 
@@ -177,6 +263,7 @@ def linear_chain(num_qubits: int) -> QuantumChipTopology:
 CHIP_LIBRARY = {
     "surface-7": surface7,
     "surface-17": surface17,
+    "surface-49": surface49,
     "two-qubit": two_qubit_chip,
     "ibm-qx2": ibm_qx2,
     "ion-trap-5": fully_connected_ion_trap,

@@ -49,6 +49,15 @@ from repro.workloads.surface17 import (
     surface17_circuit,
     surface17_syndrome_round,
 )
+from repro.workloads.surface49 import (
+    SURFACE49_DATA_QUBITS,
+    SURFACE49_X_ANCILLAS,
+    SURFACE49_Z_ANCILLAS,
+    Syndrome49,
+    expected_z_syndrome49,
+    surface49_circuit,
+    surface49_syndrome_round,
+)
 from repro.workloads.surface_code import (
     Syndrome,
     expected_z_syndrome,
@@ -99,6 +108,13 @@ __all__ = [
     "survival_reference",
     "surface17_circuit",
     "surface17_syndrome_round",
+    "SURFACE49_DATA_QUBITS",
+    "SURFACE49_X_ANCILLAS",
+    "SURFACE49_Z_ANCILLAS",
+    "Syndrome49",
+    "expected_z_syndrome49",
+    "surface49_circuit",
+    "surface49_syndrome_round",
     "surface_code_circuit",
     "syndrome_round",
     "expected_z_syndrome",

@@ -1,0 +1,134 @@
+"""Distance-5 surface code on the 49-qubit chip.
+
+The scaling step the declarative encoding spec unlocks: 25 data qubits
+in a 5x5 grid, 12 Z- and 12 X-stabilizer ancillas
+(:func:`repro.topology.library.rotated_surface_checks` generates the
+layout; :func:`repro.topology.library.surface49` holds the couplings).
+A dense simulation of 49 qubits is out of the question (a 2^49 x 2^49
+density matrix); every gate in a syndrome round is Clifford, so the
+bit-packed stabilizer tableau backend (~10k tableau bits at 49 qubits)
+runs it in polynomial time and the machine's automatic backend
+selection picks it for Pauli/readout-only noise.
+
+Check construction reuses the layout-agnostic distance-2 builders
+(:func:`repro.workloads.surface_code.z_check_circuit` /
+:func:`x_check_circuit`).  When X checks are included the round
+*interleaves* the two groups (Z, X, Z, X ... in plaquette order)
+instead of emitting all Z checks first: neighbouring Z and X plaquettes
+share no ancilla and only touch partially-overlapping data, so the
+scheduler overlaps more of the 24 checks per round than the
+grouped order allows.
+
+With data prepared in |0...0> the Z syndromes are deterministic and an
+injected X error must fire exactly the Z-checks whose plaquette
+contains it; X-check outcomes on |0...0> are intrinsically random, so
+the default experiment omits them (same convention as distances 2/3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import zip_longest
+
+from repro.compiler.ir import Circuit
+from repro.core.errors import InvalidRequestError
+from repro.topology.library import (
+    SURFACE49_DATA_QUBITS,
+    SURFACE49_X_CHECKS,
+    SURFACE49_Z_CHECKS,
+)
+from repro.workloads.surface_code import (
+    x_check_circuit,
+    z_check_circuit,
+)
+
+#: Ancillas in measurement order (Z checks, then optional X checks).
+SURFACE49_Z_ANCILLAS = tuple(sorted(SURFACE49_Z_CHECKS))
+SURFACE49_X_ANCILLAS = tuple(sorted(SURFACE49_X_CHECKS))
+
+
+def surface49_syndrome_round(circuit: Circuit,
+                             include_x_checks: bool = False,
+                             reset: bool = True) -> None:
+    """Append one full distance-5 syndrome-extraction round.
+
+    Z and X checks are interleaved in plaquette order (see the module
+    docstring).  ``reset=False`` omits the conditional ``C_X`` ancilla
+    reset — the feedback-free variant whose gate sequence cannot fork
+    on per-shot outcomes (what the Pauli-frame batched engine
+    requires; with data in |0...0> the noise-free Z ancillas end in
+    |0> anyway).
+    """
+    x_ancillas = SURFACE49_X_ANCILLAS if include_x_checks else ()
+    for z_ancilla, x_ancilla in zip_longest(SURFACE49_Z_ANCILLAS,
+                                            x_ancillas):
+        if z_ancilla is not None:
+            z_check_circuit(circuit, z_ancilla,
+                            SURFACE49_Z_CHECKS[z_ancilla], reset=reset)
+        if x_ancilla is not None:
+            x_check_circuit(circuit, x_ancilla,
+                            SURFACE49_X_CHECKS[x_ancilla], reset=reset)
+
+
+def surface49_circuit(rounds: int = 1,
+                      error: tuple[str, int] | None = None,
+                      error_after_round: int = 0,
+                      include_x_checks: bool = False,
+                      reset: bool = True) -> Circuit:
+    """Distance-5 syndrome-extraction experiment circuit.
+
+    ``error`` optionally injects a Pauli (``("X", data_qubit)`` or
+    ``("Z", data_qubit)``) after round ``error_after_round``; a data
+    X error must flip exactly the Z-stabilizers whose plaquette
+    contains the qubit (one or two of them — distance 5 separates
+    every single error).  ``reset=False`` builds the feedback-free
+    variant (see :func:`surface49_syndrome_round`).
+    """
+    if rounds < 1:
+        raise InvalidRequestError(
+            f"need at least one round, got {rounds}")
+    circuit = Circuit(name="surface-code-d5", num_qubits=49)
+    for round_index in range(rounds):
+        surface49_syndrome_round(circuit,
+                                 include_x_checks=include_x_checks,
+                                 reset=reset)
+        if error is not None and round_index == error_after_round:
+            pauli, qubit = error
+            if qubit not in SURFACE49_DATA_QUBITS:
+                raise InvalidRequestError(
+                    f"errors are injected on data qubits, got {qubit}")
+            if pauli == "Z":
+                circuit.add("Y", qubit)   # Z = X . Y up to phase
+                circuit.add("X", qubit)
+            else:
+                circuit.add(pauli, qubit)
+    return circuit
+
+
+@dataclass(frozen=True)
+class Syndrome49:
+    """One round's Z-check outcomes, keyed by ancilla address."""
+
+    z_checks: tuple[tuple[int, int], ...]   # (ancilla, bit), sorted
+
+    def bit(self, ancilla: int) -> int:
+        for address, value in self.z_checks:
+            if address == ancilla:
+                return value
+        raise KeyError(f"no Z check on ancilla {ancilla}")
+
+    def fired(self) -> bool:
+        """Whether any deterministic (Z) check flagged an error."""
+        return any(value for _, value in self.z_checks)
+
+
+def expected_z_syndrome49(
+        error: tuple[str, int] | None) -> Syndrome49:
+    """Which Z-checks an injected error must fire (data from |0...0>)."""
+    if error is None or error[0] != "X":
+        return Syndrome49(z_checks=tuple(
+            (ancilla, 0) for ancilla in SURFACE49_Z_ANCILLAS))
+    qubit = error[1]
+    return Syndrome49(z_checks=tuple(
+        (ancilla, int(qubit in SURFACE49_Z_CHECKS[ancilla]))
+        for ancilla in SURFACE49_Z_ANCILLAS))

@@ -18,17 +18,19 @@ from repro.core import (
     seventeen_qubit_instantiation,
     two_qubit_instantiation,
 )
-from repro.core.errors import PlantError
+from repro.core.errors import PlantError, ResourceError
 from repro.experiments.cfc import CFC_TWO_ROUND_PROGRAM
 from repro.experiments.reset import FIG4_PROGRAM
 from repro.experiments.surface_code import (
     looped_surface_code_program,
     run_surface17_experiment,
+    run_surface49_experiment,
 )
 from repro.quantum import NoiseModel, QuantumPlant
 from repro.quantum.noise import DecoherenceModel, GateErrorModel
 from repro.uarch import QuMAv2
 from repro.workloads.surface17 import expected_z_syndrome17
+from repro.workloads.surface49 import expected_z_syndrome49
 
 T_GATE_PROGRAM = """
 SMIS S2, {2}
@@ -249,6 +251,55 @@ class TestSurface17:
         assert result.plant_backend == "stabilizer"
         # ~9.5% per-check flip probability: some syndromes must fire.
         assert 0.0 < result.detection_fraction(0) < 0.9
+
+
+class TestSurface49:
+    """Distance 5 on the 192-bit instantiation: the tableau backend is
+    the *only* viable plant at 49 qubits, so backend selection, dense
+    admission refusal, and syndrome correctness all matter here."""
+
+    def test_distance5_selects_tableau(self):
+        result = run_surface49_experiment(rounds=2, shots=10)
+        assert result.plant_backend == "stabilizer"
+        assert len(result.syndromes_per_shot) == 10
+        for shot in result.syndromes_per_shot:
+            assert len(shot) == 2                    # one entry per round
+            assert len(shot[0].z_checks) == 12       # 12 Z ancillas
+        assert result.detection_fraction(0) == 0.0   # noiseless, clean
+
+    def test_injected_error_fires_expected_checks(self):
+        # A bulk qubit (two Z plaquettes), a corner, and an edge qubit.
+        for error in [("X", 12), ("X", 0), ("X", 4), ("X", 24)]:
+            result = run_surface49_experiment(
+                rounds=2, error=error, error_after_round=0, shots=10)
+            expected = expected_z_syndrome49(error)
+            assert expected.fired()
+            for shot in result.syndromes_per_shot:
+                assert shot[1].z_checks == expected.z_checks
+
+    def test_z_error_invisible_to_z_checks(self):
+        result = run_surface49_experiment(
+            rounds=2, error=("Z", 12), error_after_round=0, shots=10)
+        assert result.detection_fraction(1) == 0.0
+
+    def test_dense_admission_refused_at_width_49(self):
+        """A dense 49-qubit state is ~2^101 bytes; admission must refuse
+        it up front and point at the stabilizer backend."""
+        from repro.topology.library import surface49
+
+        plant = QuantumPlant(surface49(), noise=NoiseModel.noiseless(),
+                             backend="dense")
+        with pytest.raises(ResourceError,
+                           match="plant_backend='stabilizer'"):
+            plant.state
+
+    def test_readout_noise_syndromes_flip(self):
+        result = run_surface49_experiment(
+            rounds=2, shots=50, noise=readout_only_noise())
+        assert result.plant_backend == "stabilizer"
+        # 12 checks per round at ~9.5% flip each: most shots fire, but
+        # noise must not fire everything deterministically.
+        assert 0.0 < result.detection_fraction(0) < 1.0
 
 
 class TestRunCaches:
