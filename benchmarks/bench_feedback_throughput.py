@@ -186,6 +186,16 @@ AUDIT_MACHINERY_CHECK = 0.25
 #: minimum is taken (the machinery delta is small, so jitter matters).
 AUDIT_REPEATS = 3
 
+#: Recording gate on fully-enabled observability overhead (metrics +
+#: tracing, sample_fraction=1.0) for the replayed active-reset run —
+#: the hottest instrumented path (a cached shot is ~10 us, so every
+#: nanosecond of hook cost shows here first).
+OBS_OVERHEAD_TARGET = 0.05
+#: CI floor for the observability overhead (shared-runner jitter).
+OBS_OVERHEAD_CHECK = 0.15
+#: Interleaved repeats per arm of the observability A/B (min taken).
+OBS_REPEATS = 4
+
 
 def _readout_only_noise() -> NoiseModel:
     """Readout flips only: raw syndromes stay deterministic (the
@@ -929,6 +939,114 @@ def measure_audit_overhead(shots: int = 2000, seed: int = 13) -> dict:
     }
 
 
+def measure_observability_overhead(shots: int = 2000, seed: int = 13,
+                                   trace_dir: Path | None = None) -> dict:
+    """Cost of fully-enabled observability on the replayed active-reset
+    run, plus proof that tracing never perturbs the physics.
+
+    Two interleaved arms, minimum of ``OBS_REPEATS`` each: the machine
+    bare, and the machine with an attached
+    :class:`repro.obs.Observability` (metrics always on, span sampling
+    at 1.0).  Alongside the timing, the first repeat of each arm runs
+    on the *same* seed and every shot is compared bit for bit —
+    identical RNG consumption is the non-perturbation guarantee the
+    deterministic credit-accumulator sampling exists to provide.
+
+    With ``trace_dir`` set, the traced run's telemetry is exported
+    (Chrome trace + metrics snapshot + event log + rendered markdown
+    report) — the artifacts CI uploads from the bench smoke.
+    """
+    from repro.obs import Observability, render_report
+
+    program = PROGRAMS["active_reset"]
+    replay_shots = shots * 5
+
+    def one_run(observe: bool, run_seed: int):
+        machine = _make_machine(program, run_seed)
+        obs = None
+        if observe:
+            obs = Observability()
+            machine.observability = obs
+        start = time.perf_counter()
+        traces = machine.run(replay_shots, use_replay=True)
+        elapsed = time.perf_counter() - start
+        assert machine.last_run_engine == "replay", \
+            f"replay refused: {machine.replay_fallback_reason}"
+        return traces, elapsed, obs
+
+    plain_s = traced_s = None
+    plain_traces = traced_traces = best_obs = None
+    for repeat in range(OBS_REPEATS):
+        traces, elapsed, _ = one_run(False, seed + repeat)
+        if repeat == 0:
+            plain_traces = traces
+        plain_s = elapsed if plain_s is None else min(plain_s, elapsed)
+        traces, elapsed, obs = one_run(True, seed + repeat)
+        if repeat == 0:
+            traced_traces = traces
+        if traced_s is None or elapsed < traced_s:
+            traced_s, best_obs = elapsed, obs
+
+    # Non-perturbation: same seed => bit-identical shots, traced or not.
+    assert len(plain_traces) == len(traced_traces) == replay_shots
+    for plain_trace, traced_trace in zip(plain_traces, traced_traces):
+        assert plain_trace.outcome_path() == traced_trace.outcome_path()
+        assert plain_trace.triggers == traced_trace.triggers
+        assert plain_trace.classical_time_ns == \
+            traced_trace.classical_time_ns
+
+    snapshot = best_obs.snapshot()
+    spans = best_obs.tracer.spans()
+    assert any(span.name == "machine.run" for span in spans)
+    assert snapshot["engine.shots_total"]["value"] == replay_shots
+    assert "engine.replay.walk.time_ns" in snapshot
+
+    # The timing breakdown the BENCH_ file records: every timing
+    # metric of the traced run, summarised.
+    breakdown = {}
+    for name, payload in snapshot.items():
+        leaf = name.rsplit(".", 1)[-1]
+        if not (leaf.endswith("_ns") or leaf.endswith("_s")):
+            continue
+        if payload["type"] == "histogram":
+            breakdown[name] = {
+                "count": payload["count"],
+                "p50_us": round(payload["p50"] / 1e3, 3),
+                "p99_us": round(payload["p99"] / 1e3, 3),
+                "total_ms": round(payload["sum"] / 1e6, 3),
+            }
+        else:
+            breakdown[name] = {
+                "total_ms": round(payload["value"] / 1e6, 3)}
+
+    exported = {}
+    if trace_dir is not None:
+        paths = best_obs.export(trace_dir, prefix="feedback_bench")
+        report_path = Path(trace_dir) / "feedback_bench_report.md"
+        report_path.write_text(render_report(
+            metrics=snapshot,
+            trace_events=best_obs.tracer.chrome_trace_events(),
+            title="Feedback bench traced run"))
+        paths["report"] = str(report_path)
+        exported = {key: str(value) for key, value in paths.items()}
+
+    overhead = (traced_s - plain_s) / plain_s
+    result = {
+        "shots": replay_shots,
+        "disabled_shots_per_sec": round(replay_shots / plain_s, 1),
+        "traced_shots_per_sec": round(replay_shots / traced_s, 1),
+        "overhead": round(overhead, 4),
+        "overhead_target": OBS_OVERHEAD_TARGET,
+        "overhead_check": OBS_OVERHEAD_CHECK,
+        "spans_recorded": len(spans),
+        "metrics_recorded": len(snapshot),
+        "timing_breakdown": breakdown,
+    }
+    if exported:
+        result["exported"] = exported
+    return result
+
+
 def _audited_machines(shots: int, seed: int):
     """Yield ``(name, machine)`` with ``audit_fraction=1.0`` for every
     feedback-bench scenario, loaded and ready to run."""
@@ -1002,7 +1120,8 @@ def verify_full_audit_identity(shots: int = 400, seed: int = 13) -> dict:
     return {"audit_fraction": 1.0, "scenarios": scenarios}
 
 
-def run_benchmark(shots: int = 2000) -> dict:
+def run_benchmark(shots: int = 2000,
+                  trace_dir: Path | None = None) -> dict:
     """Measure every scenario; returns the JSON-ready result tree."""
     programs = {name: measure_program(name, shots=shots)
                 for name in PROGRAMS}
@@ -1030,6 +1149,8 @@ def run_benchmark(shots: int = 2000) -> dict:
         "frame_speedup_target": FRAME_SPEEDUP_TARGET,
         "frame_check_target": FRAME_CHECK_TARGET,
         "programs": programs,
+        "observability": measure_observability_overhead(
+            shots=shots, trace_dir=trace_dir),
         "replay_audit": measure_audit_overhead(shots=shots),
         "replay_audit_identity": verify_full_audit_identity(
             shots=max(50, shots // 5)),
@@ -1110,6 +1231,12 @@ def test_audit_machinery_overhead():
     assert result["machinery_overhead"] <= AUDIT_MACHINERY_TARGET
 
 
+def test_observability_overhead():
+    result = measure_observability_overhead(shots=2000)
+    print(f"\nobservability: {result}")
+    assert result["overhead"] <= OBS_OVERHEAD_TARGET
+
+
 def test_full_audit_bit_identity():
     result = verify_full_audit_identity(shots=400)
     print(f"\nreplay_audit_identity: {result}")
@@ -1130,8 +1257,12 @@ def main() -> int:
                              f"floor ({CHECK_TARGET}x) is met")
     parser.add_argument("--output", type=Path, default=None,
                         help="write the result JSON to this path")
+    parser.add_argument("--trace-dir", type=Path, default=None,
+                        help="export the traced run's telemetry "
+                             "(Chrome trace, metrics snapshot, event "
+                             "log, markdown report) to this directory")
     args = parser.parse_args()
-    result = run_benchmark(shots=args.shots)
+    result = run_benchmark(shots=args.shots, trace_dir=args.trace_dir)
     print(json.dumps(result, indent=2))
     if args.output is not None:
         args.output.write_text(json.dumps(result, indent=2) + "\n")
@@ -1170,6 +1301,12 @@ def main() -> int:
         print(f"FAIL: audit machinery overhead "
               f"{audit['machinery_overhead']} above the "
               f"{AUDIT_MACHINERY_CHECK} gate")
+        return 1
+    observability = result["observability"]
+    if args.check and observability["overhead"] > OBS_OVERHEAD_CHECK:
+        print(f"FAIL: observability overhead "
+              f"{observability['overhead']} above the "
+              f"{OBS_OVERHEAD_CHECK} gate")
         return 1
     return 0
 

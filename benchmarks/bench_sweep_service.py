@@ -109,12 +109,6 @@ def service_config(workers: int, chaos: bool = False) -> ServiceConfig:
                          **supervision)
 
 
-def percentile(values: list[float], fraction: float) -> float:
-    ordered = sorted(values)
-    return ordered[min(len(ordered) - 1,
-                       int(fraction * (len(ordered) - 1) + 0.5))]
-
-
 def run_benchmark(shots: int = 200, points: int = 8,
                   workers: int = 2) -> dict:
     specs = make_specs(points, shots)
@@ -145,7 +139,10 @@ def run_benchmark(shots: int = 200, points: int = 8,
         {i: r.counts for i, r in served[spec.name].items()}
         == expected[spec.name]
         for spec in specs)
-    latencies = [result.latency_s for result in results]
+    # Per-point latency tail straight off the service's shared
+    # fixed-bound histogram (repro.obs.Histogram) — the same numbers
+    # ServiceStats.as_dict() reports, not a bench-local percentile.
+    latency = service.stats_snapshot().point_latency
 
     # Chaos-recovery overhead on the Rabi sweep alone.
     rabi = specs[0]
@@ -177,10 +174,12 @@ def run_benchmark(shots: int = 200, points: int = 8,
             "service_points_per_sec": round(
                 total_points / service_s, 2),
             "service_vs_inline": round(inline_s / service_s, 2),
+            "point_latency_count": latency.count,
             "point_latency_p50_ms": round(
-                1e3 * percentile(latencies, 0.50), 2),
+                1e3 * latency.percentile(0.50), 2),
             "point_latency_p99_ms": round(
-                1e3 * percentile(latencies, 0.99), 2),
+                1e3 * latency.percentile(0.99), 2),
+            "point_latency_histogram": latency.as_dict(),
         },
         "chaos_recovery": {
             "bit_identical": chaos_identical,

@@ -125,7 +125,8 @@ class ExperimentSetup:
                seed: int = 0,
                config: UarchConfig | None = None,
                plant_backend: str = "auto",
-               audit_fraction: float = 0.0) -> "ExperimentSetup":
+               audit_fraction: float = 0.0,
+               observability=None) -> "ExperimentSetup":
         """Build the Section 5 experimental setup.
 
         Defaults: the two-qubit instantiation, the calibrated noise
@@ -144,6 +145,11 @@ class ExperimentSetup:
         fraction of replayed (cache-hit) shots is shadow-run on the
         interpreter and compared bit-for-bit — see
         :meth:`repro.uarch.machine.QuMAv2.run_iter`.
+
+        ``observability`` attaches a :class:`repro.obs.Observability`
+        handle to the machine (and, through it, the plant): run-phase
+        spans, engine timing histograms and degradation/fault trace
+        events.  None (default) disables all instrumentation.
         """
         isa = isa or two_qubit_instantiation()
         plant = QuantumPlant(isa.topology,
@@ -152,7 +158,8 @@ class ExperimentSetup:
                              rng=np.random.default_rng(seed))
         machine = QuMAv2(isa, plant, config=config,
                          plant_backend=plant_backend,
-                         audit_fraction=audit_fraction)
+                         audit_fraction=audit_fraction,
+                         observability=observability)
         return cls(isa=isa, machine=machine, assembler=Assembler(isa))
 
     # ------------------------------------------------------------------
@@ -288,6 +295,20 @@ class ExperimentSetup:
                         f"attempt {attempt + 1}: "
                         f"{type(error).__name__} -> {step}"
                         + (f" (backoff {delay:.3f}s)" if delay else ""))
+                    obs = machine.observability
+                    if obs is not None:
+                        # Each ladder rung is a structured trace event
+                        # carrying the triggering guard fault's
+                        # machine-readable context, so ladder walks are
+                        # visible in exported traces, not only in
+                        # EngineStats.degradations.
+                        obs.event("runner.degradation",
+                                  attempt=attempt + 1,
+                                  error=type(error).__name__,
+                                  rung=step,
+                                  use_replay=use_replay,
+                                  backoff_s=delay,
+                                  context=getattr(error, "context", {}))
                     if delay:
                         time.sleep(delay)
                     continue

@@ -1,0 +1,55 @@
+"""Command-line surface of the observability layer.
+
+``python -m repro.obs report --metrics run_metrics.json
+--trace run_trace.json [--output report.md]`` renders the markdown run
+report from telemetry exported by
+:meth:`repro.obs.Observability.export`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.obs.report import load_chrome_trace, render_report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Observability telemetry tooling.")
+    commands = parser.add_subparsers(dest="command", required=True)
+    report = commands.add_parser(
+        "report", help="render a markdown run report from exported "
+        "metrics/trace files")
+    report.add_argument("--metrics", help="metrics snapshot JSON "
+                        "(from Observability.export)")
+    report.add_argument("--trace", help="Chrome trace_event JSON "
+                        "(from Observability.export)")
+    report.add_argument("--title", default="Run report")
+    report.add_argument("--output", help="write the markdown here "
+                        "instead of stdout")
+    arguments = parser.parse_args(argv)
+
+    if arguments.metrics is None and arguments.trace is None:
+        report.error("pass --metrics and/or --trace")
+    metrics = None
+    if arguments.metrics is not None:
+        with open(arguments.metrics, "r", encoding="utf-8") as handle:
+            metrics = json.load(handle)
+    trace_events = None
+    if arguments.trace is not None:
+        trace_events = load_chrome_trace(arguments.trace)
+    rendered = render_report(metrics, trace_events,
+                             title=arguments.title)
+    if arguments.output:
+        with open(arguments.output, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+    else:
+        sys.stdout.write(rendered + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,91 @@
+"""The :class:`Observability` facade: one handle, one enablement point.
+
+Everything instrumented in this repo accepts an optional
+``Observability`` and holds ``None`` by default — a disabled hook is
+one ``is not None`` branch, nothing more.  The facade bundles the two
+halves (a :class:`~repro.obs.metrics.MetricsRegistry` and a
+:class:`~repro.obs.tracing.SpanTracer`) plus the export path, so
+callers wire a single object through
+``QuMAv2(observability=...)`` / ``SweepService(observability=...)``
+and read back metrics, spans and rendered reports from the same place.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.obs.metrics import MetricsRegistry, filter_timing
+from repro.obs.tracing import SpanTracer
+
+__all__ = ["Observability"]
+
+
+class Observability:
+    """Paired metrics registry + span tracer with export helpers.
+
+    Parameters
+    ----------
+    sample_fraction:
+        Fraction of root spans recorded (deterministic credit
+        accumulator) — the production-sweep sampled mode.  Metrics are
+        always recorded; sampling applies to spans only.
+    trace_capacity:
+        Ring-buffer bound on retained trace records.
+    clock:
+        Nanosecond monotonic clock, injectable for tests.
+    """
+
+    def __init__(self, *, sample_fraction: float = 1.0,
+                 trace_capacity: int = 65536, clock=None):
+        self.metrics = MetricsRegistry()
+        kwargs = {} if clock is None else {"clock": clock}
+        self.tracer = SpanTracer(capacity=trace_capacity,
+                                 sample_fraction=sample_fraction,
+                                 **kwargs)
+
+    # Tracer delegates, so hook sites write ``obs.span(...)``.
+    def span(self, name: str, **attributes):
+        return self.tracer.span(name, **attributes)
+
+    def begin(self, name: str, **attributes):
+        return self.tracer.begin(name, **attributes)
+
+    def end(self, span, **attributes) -> None:
+        self.tracer.end(span, **attributes)
+
+    def event(self, name: str, **attributes) -> None:
+        self.tracer.event(name, **attributes)
+
+    def clock(self) -> int:
+        return self.tracer.clock()
+
+    def record_engine_run(self, stats) -> None:
+        """Fold one finished run's :class:`EngineStats` into the
+        registry (the ``engine.*`` namespace)."""
+        stats.publish_metrics(self.metrics)
+
+    def snapshot(self, exclude_timing: bool = False) -> dict:
+        """The metrics snapshot; ``exclude_timing`` strips wall-clock
+        entries, leaving the deterministic subset."""
+        snapshot = self.metrics.snapshot()
+        return filter_timing(snapshot) if exclude_timing else snapshot
+
+    def export(self, directory, prefix: str = "run") -> dict[str, str]:
+        """Write ``<prefix>_metrics.json`` (sorted snapshot),
+        ``<prefix>_trace.json`` (Chrome/Perfetto) and
+        ``<prefix>_events.jsonl`` under ``directory``; returns the
+        paths keyed ``metrics`` / ``trace`` / ``events``."""
+        os.makedirs(directory, exist_ok=True)
+        paths = {
+            "metrics": os.path.join(directory, f"{prefix}_metrics.json"),
+            "trace": os.path.join(directory, f"{prefix}_trace.json"),
+            "events": os.path.join(directory, f"{prefix}_events.jsonl"),
+        }
+        with open(paths["metrics"], "w", encoding="utf-8") as handle:
+            json.dump(self.metrics.snapshot(), handle, indent=2,
+                      sort_keys=True)
+            handle.write("\n")
+        self.tracer.write_chrome_trace(paths["trace"])
+        self.tracer.write_event_log(paths["events"])
+        return paths

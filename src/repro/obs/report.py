@@ -1,0 +1,115 @@
+"""Render a markdown run report from exported telemetry.
+
+Consumes the files :meth:`repro.obs.Observability.export` writes — a
+metrics snapshot (JSON dict) and/or a Chrome-format trace (JSON array
+of ``trace_event`` records) — and produces the human-readable side of
+the observability story: where the counters stand, where the
+wall-clock went, what events fired.  Exposed on the command line as
+``python -m repro.obs report``.
+"""
+
+from __future__ import annotations
+
+import json
+
+__all__ = ["load_chrome_trace", "render_report"]
+
+
+def load_chrome_trace(path) -> list[dict]:
+    """Load a Chrome trace file (JSON array or ``{"traceEvents": []}``)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if isinstance(payload, dict):
+        payload = payload.get("traceEvents", [])
+    if not isinstance(payload, list):
+        raise ValueError(f"{path} is not a Chrome trace")
+    return payload
+
+
+def _format(value: float) -> str:
+    if isinstance(value, int):
+        return f"{value:,}"
+    if value == 0:
+        return "0"
+    if abs(value) >= 1000:
+        return f"{value:,.1f}"
+    return f"{value:.4g}"
+
+
+def _metrics_sections(metrics: dict[str, dict]) -> list[str]:
+    counters = {n: m for n, m in metrics.items()
+                if m.get("type") == "counter"}
+    gauges = {n: m for n, m in metrics.items() if m.get("type") == "gauge"}
+    histograms = {n: m for n, m in metrics.items()
+                  if m.get("type") == "histogram"}
+    lines: list[str] = ["## Metrics", ""]
+    if counters:
+        lines += ["### Counters", "", "| name | value |", "| --- | ---: |"]
+        lines += [f"| `{name}` | {_format(int(m['value']))} |"
+                  for name, m in sorted(counters.items())]
+        lines.append("")
+    if gauges:
+        lines += ["### Gauges", "", "| name | value |", "| --- | ---: |"]
+        lines += [f"| `{name}` | {_format(m['value'])} |"
+                  for name, m in sorted(gauges.items())]
+        lines.append("")
+    if histograms:
+        lines += ["### Histograms", "",
+                  "| name | count | p50 | p90 | p99 | max |",
+                  "| --- | ---: | ---: | ---: | ---: | ---: |"]
+        lines += [f"| `{name}` | {_format(int(m['count']))} "
+                  f"| {_format(m['p50'])} | {_format(m['p90'])} "
+                  f"| {_format(m['p99'])} | {_format(m['max'])} |"
+                  for name, m in sorted(histograms.items())]
+        lines.append("")
+    if not metrics:
+        lines += ["(no metrics in snapshot)", ""]
+    return lines
+
+
+def _trace_sections(events: list[dict]) -> list[str]:
+    spans: dict[str, list[float]] = {}
+    instants: dict[str, int] = {}
+    for event in events:
+        name = event.get("name", "?")
+        if event.get("ph") == "X":
+            spans.setdefault(name, []).append(float(event.get("dur", 0.0)))
+        elif event.get("ph") == "i":
+            instants[name] = instants.get(name, 0) + 1
+    lines: list[str] = ["## Trace", ""]
+    if spans:
+        lines += ["### Span time by name", "",
+                  "| span | count | total ms | mean ms | max ms |",
+                  "| --- | ---: | ---: | ---: | ---: |"]
+        ranked = sorted(spans.items(), key=lambda item: -sum(item[1]))
+        for name, durations in ranked:
+            total_ms = sum(durations) / 1000.0
+            mean_ms = total_ms / len(durations)
+            max_ms = max(durations) / 1000.0
+            lines.append(f"| `{name}` | {len(durations):,} "
+                         f"| {total_ms:.3f} | {mean_ms:.3f} "
+                         f"| {max_ms:.3f} |")
+        lines.append("")
+    if instants:
+        lines += ["### Events", "", "| event | count |", "| --- | ---: |"]
+        lines += [f"| `{name}` | {count:,} |"
+                  for name, count in sorted(instants.items())]
+        lines.append("")
+    if not events:
+        lines += ["(no trace events)", ""]
+    return lines
+
+
+def render_report(metrics: dict | None = None,
+                  trace_events: list[dict] | None = None,
+                  title: str = "Run report") -> str:
+    """Markdown report from a metrics snapshot and/or trace events."""
+    lines = [f"# {title}", ""]
+    if metrics is not None:
+        lines += _metrics_sections(metrics)
+    if trace_events is not None:
+        lines += _trace_sections(trace_events)
+    if metrics is None and trace_events is None:
+        lines += ["(nothing to report: pass a metrics snapshot and/or "
+                  "a trace)", ""]
+    return "\n".join(lines)

@@ -1,0 +1,274 @@
+"""Span tracer: monotonic-clock spans, ring-buffer bounded, Chrome-exportable.
+
+Spans are measured on :func:`time.perf_counter_ns` (``CLOCK_MONOTONIC``
+on Linux, shared across processes on one host, so driver and worker
+spans land on one consistent timeline).  Nesting is tracked with an
+explicit stack — every span records its parent's name and depth — and
+the export maps cleanly onto the Chrome ``trace_event`` format:
+complete (``"ph": "X"``) events for spans, instant (``"ph": "i"``)
+events for point-in-time facts (faults, degradations, supervision
+decisions).  The exported file is a JSON array with one event per
+line, which both ``chrome://tracing`` and Perfetto open directly; a
+plain-JSONL structured event log is available for ``jq``-style
+processing.
+
+The buffer is a bounded ring (``capacity`` completed records): a
+runaway sweep overwrites its oldest spans instead of growing without
+bound, and :attr:`SpanTracer.dropped` counts the overwritten records.
+Sampling (``sample_fraction``) applies per *root* span through a
+deterministic credit accumulator — never an RNG draw, so enabling
+sampled tracing cannot perturb a seeded run — and an unsampled root
+suppresses its whole subtree while instant events always record.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = [
+    "EventRecord",
+    "SpanRecord",
+    "SpanTracer",
+]
+
+
+def _json_safe(value):
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): _json_safe(item) for key, item in value.items()}
+    return repr(value)
+
+
+@dataclass(slots=True)
+class SpanRecord:
+    """One completed span (recorded at end time)."""
+
+    name: str
+    start_ns: int
+    duration_ns: int
+    parent: str | None = None
+    depth: int = 0
+    tid: int = 0
+    attributes: dict = field(default_factory=dict)
+
+    def chrome_event(self, pid: int) -> dict:
+        return {"name": self.name, "cat": "repro", "ph": "X",
+                "ts": self.start_ns / 1000.0,
+                "dur": self.duration_ns / 1000.0,
+                "pid": pid, "tid": self.tid,
+                "args": _json_safe(self.attributes)}
+
+    def log_record(self, pid: int) -> dict:
+        return {"kind": "span", "name": self.name, "pid": pid,
+                "tid": self.tid, "parent": self.parent,
+                "depth": self.depth, "start_ns": self.start_ns,
+                "duration_ns": self.duration_ns,
+                "attributes": _json_safe(self.attributes)}
+
+
+@dataclass(slots=True)
+class EventRecord:
+    """One instantaneous structured event."""
+
+    name: str
+    timestamp_ns: int
+    tid: int = 0
+    attributes: dict = field(default_factory=dict)
+
+    def chrome_event(self, pid: int) -> dict:
+        return {"name": self.name, "cat": "repro", "ph": "i", "s": "t",
+                "ts": self.timestamp_ns / 1000.0,
+                "pid": pid, "tid": self.tid,
+                "args": _json_safe(self.attributes)}
+
+    def log_record(self, pid: int) -> dict:
+        return {"kind": "event", "name": self.name, "pid": pid,
+                "tid": self.tid, "timestamp_ns": self.timestamp_ns,
+                "attributes": _json_safe(self.attributes)}
+
+
+class _ActiveSpan:
+    __slots__ = ("name", "start_ns", "attributes", "sampled", "parent",
+                 "depth")
+
+    def __init__(self, name, start_ns, attributes, sampled, parent,
+                 depth):
+        self.name = name
+        self.start_ns = start_ns
+        self.attributes = attributes
+        self.sampled = sampled
+        self.parent = parent
+        self.depth = depth
+
+
+class SpanTracer:
+    """Bounded recorder of spans and instant events.
+
+    Parameters
+    ----------
+    capacity:
+        Ring-buffer bound on retained completed records; the oldest
+        record is overwritten past the bound (counted in
+        :attr:`dropped`).
+    sample_fraction:
+        Fraction of *root* spans recorded, via a deterministic credit
+        accumulator; nested spans inherit the root's decision.
+    clock:
+        Nanosecond monotonic clock (injectable for tests).
+    """
+
+    def __init__(self, capacity: int = 65536,
+                 sample_fraction: float = 1.0,
+                 clock=time.perf_counter_ns):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity!r}")
+        if not 0.0 <= sample_fraction <= 1.0:
+            raise ValueError(f"sample_fraction must lie in [0, 1], "
+                             f"got {sample_fraction!r}")
+        self.capacity = capacity
+        self.sample_fraction = sample_fraction
+        self.clock = clock
+        self._records: deque = deque(maxlen=capacity)
+        self._stack: list[_ActiveSpan] = []
+        self._credit = 0.0
+        #: Completed records overwritten by the ring buffer.
+        self.dropped = 0
+        #: Chrome events ingested from other processes (workers),
+        #: already carrying their own pid.
+        self._foreign: list[dict] = []
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def _append(self, record) -> None:
+        if len(self._records) == self.capacity:
+            self.dropped += 1
+        self._records.append(record)
+
+    def _sample_root(self) -> bool:
+        self._credit += self.sample_fraction
+        if self._credit >= 1.0 - 1e-12:
+            self._credit -= 1.0
+            return True
+        return False
+
+    def begin(self, name: str, **attributes) -> _ActiveSpan:
+        """Open a span; pair with :meth:`end`."""
+        if self._stack:
+            parent = self._stack[-1]
+            sampled = parent.sampled
+            parent_name = parent.name
+        else:
+            sampled = self._sample_root()
+            parent_name = None
+        span = _ActiveSpan(name, self.clock() if sampled else 0,
+                           attributes, sampled, parent_name,
+                           len(self._stack))
+        self._stack.append(span)
+        return span
+
+    def end(self, span: _ActiveSpan, **attributes) -> None:
+        """Close the innermost open span (must be ``span``)."""
+        popped = self._stack.pop()
+        if popped is not span:
+            raise RuntimeError(
+                f"span nesting violation: ending {span.name!r} while "
+                f"{popped.name!r} is innermost")
+        if not span.sampled:
+            return
+        if attributes:
+            span.attributes.update(attributes)
+        self._append(SpanRecord(
+            name=span.name, start_ns=span.start_ns,
+            duration_ns=self.clock() - span.start_ns,
+            parent=span.parent, depth=span.depth,
+            attributes=span.attributes))
+
+    @contextmanager
+    def span(self, name: str, **attributes):
+        handle = self.begin(name, **attributes)
+        try:
+            yield handle
+        finally:
+            self.end(handle)
+
+    def event(self, name: str, **attributes) -> None:
+        """Record an instantaneous structured event (never sampled
+        away: events mark rare, operationally significant facts)."""
+        self._append(EventRecord(name=name, timestamp_ns=self.clock(),
+                                 attributes=attributes))
+
+    def record_span(self, name: str, start_ns: int, end_ns: int, *,
+                    tid: int = 0, parent: str | None = None,
+                    **attributes) -> None:
+        """Record a span with explicit endpoints — for work whose
+        start and end are observed at different call sites (e.g. a
+        sweep point between dispatch and journal acknowledgement)."""
+        self._append(SpanRecord(
+            name=name, start_ns=start_ns,
+            duration_ns=max(0, end_ns - start_ns), parent=parent,
+            tid=tid, attributes=attributes))
+
+    def ingest_chrome_events(self, events: list[dict], pid: int,
+                             tid: int | None = None) -> None:
+        """Adopt Chrome-format events exported by another process,
+        re-tagged with ``pid`` (and optionally ``tid``).  Re-tagging
+        both onto the ingesting tracer's own pid and a per-unit-of-work
+        tid places foreign spans *inside* the local span that covers
+        them (time containment on one track), which is how a sweep
+        point's worker-side execution nests under the service's
+        dispatch-to-journal span."""
+        for event in events:
+            merged = {**event, "pid": pid}
+            if tid is not None:
+                merged["tid"] = tid
+            self._foreign.append(merged)
+
+    # ------------------------------------------------------------------
+    # Reading and export
+    # ------------------------------------------------------------------
+    def spans(self) -> list[SpanRecord]:
+        return [record for record in self._records
+                if isinstance(record, SpanRecord)]
+
+    def events(self) -> list[EventRecord]:
+        return [record for record in self._records
+                if isinstance(record, EventRecord)]
+
+    def chrome_trace_events(self, pid: int = 0) -> list[dict]:
+        """All records in Chrome ``trace_event`` form (own + ingested)."""
+        own = [record.chrome_event(pid) for record in self._records]
+        return own + list(self._foreign)
+
+    def write_chrome_trace(self, path, pid: int = 0) -> None:
+        """Write a Chrome/Perfetto-loadable JSON array, one event per
+        line (diff-friendly, still a valid single JSON document)."""
+        events = self.chrome_trace_events(pid)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("[\n")
+            for index, event in enumerate(events):
+                comma = "," if index < len(events) - 1 else ""
+                handle.write(json.dumps(event, sort_keys=True) + comma
+                             + "\n")
+            handle.write("]\n")
+
+    def write_event_log(self, path, pid: int = 0) -> None:
+        """Write the plain-JSONL structured log (one record per line)."""
+        with open(path, "w", encoding="utf-8") as handle:
+            for record in self._records:
+                handle.write(json.dumps(record.log_record(pid),
+                                        sort_keys=True) + "\n")
+
+    def clear(self) -> None:
+        self._records.clear()
+        self._foreign.clear()
+        self._stack.clear()
+        self._credit = 0.0
+        self.dropped = 0

@@ -145,6 +145,37 @@ class QuantumPlant:
         #: Armed :class:`~repro.uarch.faults.FaultPlan` (None in
         #: production) — set by :meth:`QuMAv2.arm_faults`.
         self.fault_plan = None
+        #: Attached :class:`repro.obs.Observability` (None = disabled)
+        #: — set through :attr:`QuMAv2.observability`.  When present,
+        #: backend gate/measure kernel time lands in per-backend
+        #: ``backend.<kind>.*.time_ns`` histograms.
+        self.observability = None
+
+    @property
+    def observability(self):
+        return self._observability
+
+    @observability.setter
+    def observability(self, obs) -> None:
+        self._observability = obs
+        # (kind, gate histogram, measure histogram) — resolved lazily
+        # per backend kind so the per-gate hook never rebuilds metric
+        # names on the hot path.
+        self._obs_kernel_cache = None
+
+    def _obs_kernels(self, obs):
+        """The cached ``(gate, measure)`` histograms for the current
+        backend kind."""
+        kind = self._backend_kind
+        cache = self._obs_kernel_cache
+        if cache is None or cache[0] != kind:
+            cache = (kind,
+                     obs.metrics.histogram(
+                         f"backend.{kind}.gate.time_ns"),
+                     obs.metrics.histogram(
+                         f"backend.{kind}.measure.time_ns"))
+            self._obs_kernel_cache = cache
+        return cache
 
     # ------------------------------------------------------------------
     # Backend selection
@@ -342,10 +373,22 @@ class QuantumPlant:
             self._advance_qubit(address, start_ns)
         indices = tuple(self.qubit_index(address) for address in qubits)
         backend = self.backend
-        backend.apply_gate(name, unitary, indices)
-        if apply_gate_error:
-            backend.apply_gate_error(indices, self.noise.gate_error,
-                                     self.rng)
+        obs = self.observability
+        if obs is None:
+            backend.apply_gate(name, unitary, indices)
+            if apply_gate_error:
+                backend.apply_gate_error(indices,
+                                         self.noise.gate_error,
+                                         self.rng)
+        else:
+            clock = obs.tracer.clock
+            gate_start = clock()
+            backend.apply_gate(name, unitary, indices)
+            if apply_gate_error:
+                backend.apply_gate_error(indices,
+                                         self.noise.gate_error,
+                                         self.rng)
+            self._obs_kernels(obs)[1].record(clock() - gate_start)
         for address in qubits:
             self._qubit_free_at[address] = start_ns + duration_ns
         self.operations_log.append(
@@ -372,11 +415,22 @@ class QuantumPlant:
         if self.measure_observer is not None:
             self.measure_observer(qubit, start_ns,
                                   backend.probability_one(index))
-        if forced is None:
-            result = backend.measure(index, self.rng)
+        obs = self.observability
+        if obs is None:
+            if forced is None:
+                result = backend.measure(index, self.rng)
+            else:
+                backend.collapse(index, forced)
+                result = forced
         else:
-            backend.collapse(index, forced)
-            result = forced
+            clock = obs.tracer.clock
+            measure_start = clock()
+            if forced is None:
+                result = backend.measure(index, self.rng)
+            else:
+                backend.collapse(index, forced)
+                result = forced
+            self._obs_kernels(obs)[2].record(clock() - measure_start)
         self._qubit_free_at[qubit] = start_ns + duration_ns
         self.operations_log.append(
             AppliedOperation(name="MEASZ", qubits=(qubit,),

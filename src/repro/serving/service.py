@@ -47,6 +47,7 @@ from repro.core.errors import (
     JobDeadlineError,
     WorkerPoolError,
 )
+from repro.obs import LATENCY_S_BOUNDS, Histogram
 from repro.serving.journal import CheckpointJournal
 from repro.serving.supervisor import WorkerPool
 from repro.serving.sweep import PointResult, SweepSpec
@@ -158,34 +159,81 @@ class ServiceStats:
     journal_torn_records: int = 0
     interpreter_shots: int = 0
     replay_shots: int = 0
+    frame_batched_shots: int = 0
+    #: Latency of every point *executed* this run (resumed points cost
+    #: no execution), on the shared fixed-bound histogram — the one
+    #: percentile implementation serving and the bench both use.
+    point_latency: Histogram = field(
+        default_factory=lambda: Histogram(LATENCY_S_BOUNDS))
     #: Chaos directives issued at dispatch ("site@pointN").
     chaos_directives: list[str] = field(default_factory=list)
     #: Every supervision decision, in order.
     events: list[SupervisionEvent] = field(default_factory=list)
 
+    #: Scalar counter -> hierarchical metric name (``service.*``).
+    _METRIC_NAMES = (
+        ("sweeps_submitted", "service.sweeps.submitted"),
+        ("sweeps_completed", "service.sweeps.completed"),
+        ("points_total", "service.points.total"),
+        ("points_completed", "service.points.completed"),
+        ("points_resumed", "service.points.resumed"),
+        ("points_redispatched", "service.points.redispatched"),
+        ("points_failed", "service.points.failed"),
+        ("duplicate_results", "service.points.duplicates"),
+        ("worker_restarts", "service.workers.restarts"),
+        ("worker_deaths", "service.workers.deaths"),
+        ("heartbeat_timeouts", "service.workers.heartbeat_timeouts"),
+        ("shard_deadline_hits", "service.deadlines.shard_hits"),
+        ("sweep_deadline_hits", "service.deadlines.sweep_hits"),
+        ("admission_rejections", "service.admission.rejections"),
+        ("journal_torn_records", "service.journal.torn_records"),
+        ("interpreter_shots", "service.shots.interpreter"),
+        ("replay_shots", "service.shots.replay"),
+        ("frame_batched_shots", "service.shots.frame_batched"),
+    )
+
     def snapshot(self) -> "ServiceStats":
         copy = replace(self)
+        copy.point_latency = self.point_latency.copy()
         copy.chaos_directives = list(self.chaos_directives)
         copy.events = list(self.events)
         return copy
 
     def as_dict(self) -> dict:
         """JSON-ready summary (used by the service benchmark)."""
-        payload = {
-            name: getattr(self, name)
-            for name in ("sweeps_submitted", "sweeps_completed",
-                         "points_total", "points_completed",
-                         "points_resumed", "points_redispatched",
-                         "points_failed", "duplicate_results",
-                         "worker_restarts", "worker_deaths",
-                         "heartbeat_timeouts", "shard_deadline_hits",
-                         "sweep_deadline_hits", "admission_rejections",
-                         "journal_torn_records", "interpreter_shots",
-                         "replay_shots")
+        payload = {name: getattr(self, name)
+                   for name, _ in self._METRIC_NAMES}
+        latency = self.point_latency
+        payload["point_latency"] = {
+            "count": latency.count,
+            "p50_ms": latency.percentile(0.50) * 1e3,
+            "p90_ms": latency.percentile(0.90) * 1e3,
+            "p99_ms": latency.percentile(0.99) * 1e3,
         }
         payload["chaos_directives"] = list(self.chaos_directives)
         payload["events"] = [event.describe() for event in self.events]
         return payload
+
+    def publish_metrics(self, registry) -> None:
+        """Publish the current totals into ``registry`` under the
+        ``service.*`` namespace.  Values are *assigned*, not
+        incremented — the stats object is cumulative, so republishing
+        after every sweep keeps the registry equal to the live totals
+        instead of double-counting them."""
+        for attr, name in self._METRIC_NAMES:
+            registry.counter(name).value = int(getattr(self, attr))
+        registry.counter("service.chaos_directives").value = \
+            len(self.chaos_directives)
+        registry.counter("service.supervision_events").value = \
+            len(self.events)
+        mirror = registry.histogram("service.point.latency_s",
+                                    bounds=self.point_latency.bounds)
+        source = self.point_latency
+        mirror.bucket_counts[:] = source.bucket_counts
+        mirror.count = source.count
+        mirror.total = source.total
+        mirror.min_value = source.min_value
+        mirror.max_value = source.max_value
 
 
 @dataclass
@@ -216,11 +264,22 @@ class SweepService:
     """Submit sweeps; stream crash-safe, exactly-once point results."""
 
     def __init__(self, config: ServiceConfig | None = None,
-                 fault_plan: FaultPlan | None = None):
+                 fault_plan: FaultPlan | None = None,
+                 observability=None):
         self.config = config or ServiceConfig()
         self.fault_plan = fault_plan
         self.stats = ServiceStats()
         self._pending: deque[_Job] = deque()
+        #: Optional :class:`repro.obs.Observability`.  When set, the
+        #: drive loop records per-point dispatch-to-journal spans,
+        #: mirrors every supervision decision as an instant trace
+        #: event, and — for sweeps whose spec enables ``observe`` —
+        #: ingests the worker-side spans/metrics that ride back on
+        #: each result message.
+        self.observability = observability
+        #: Dispatch timestamp (monotonic ns) of every in-flight point,
+        #: opening edge of its ``service.point`` span.
+        self._dispatch_ns: dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # Chaos
@@ -288,13 +347,33 @@ class SweepService:
         self.stats.events.append(SupervisionEvent(
             kind=kind, worker=worker, generation=generation,
             indices=tuple(indices), detail=detail))
+        obs = self.observability
+        if obs is not None:
+            obs.event(f"service.{kind}", worker=worker,
+                      generation=generation, indices=list(indices),
+                      detail=detail)
 
     def _drive(self, job: _Job) -> Iterator[PointResult]:
+        obs = self.observability
+        if obs is None:
+            yield from self._drive_impl(job)
+            return
+        span = obs.begin("service.sweep", sweep=job.spec.name,
+                         points=job.spec.num_points,
+                         shots=job.spec.shots)
+        try:
+            yield from self._drive_impl(job)
+        finally:
+            obs.end(span)
+            self.stats.publish_metrics(obs.metrics)
+
+    def _drive_impl(self, job: _Job) -> Iterator[PointResult]:
         spec = job.spec
         config = self.config
         stats = self.stats
         total = spec.num_points
         stats.points_total += total
+        self._dispatch_ns.clear()
 
         journal = None
         completed: dict[int, PointResult] = {}
@@ -370,9 +449,10 @@ class SweepService:
     # -- dispatch ------------------------------------------------------
     def _dispatch(self, pool: WorkerPool, pending: deque) -> None:
         config = self.config
+        obs = self.observability
         for handle in pool.handles:
             if not pending:
-                return
+                break
             if not handle.idle or not handle.is_alive():
                 continue
             indices = tuple(pending.popleft()
@@ -381,6 +461,21 @@ class SweepService:
             chaos = self._chaos_directives(indices, handle)
             handle.dispatch(Shard(indices=indices,
                                   chaos=tuple(sorted(chaos.items()))))
+            if obs is not None:
+                now = obs.clock()
+                for index in indices:
+                    self._dispatch_ns[index] = now
+                obs.event("service.dispatch",
+                          worker=handle.worker_id,
+                          generation=handle.generation,
+                          indices=list(indices))
+        if obs is not None:
+            obs.metrics.set_gauge("service.queue.pending",
+                                  float(len(pending)))
+            obs.metrics.set_gauge(
+                "service.workers.idle",
+                float(sum(1 for handle in pool.handles
+                          if handle.idle and handle.is_alive())))
 
     def _chaos_directives(self, indices, handle) -> dict[int, str]:
         plan = self.fault_plan
@@ -419,11 +514,16 @@ class SweepService:
                       completed: dict, journal, pool: WorkerPool
                       ) -> PointResult | None:
         stats = self.stats
+        obs = self.observability
         index = message["index"]
         worker_id = message["worker"]
         generation = message["generation"]
         handle = pool.handle_for(worker_id, generation)
         payload = message["payload"]
+        # Worker-side telemetry rides *beside* the result and is
+        # detached here: the journal stores only the replayable point
+        # payload, so traces never perturb resume fingerprints.
+        worker_obs = payload.pop("obs", None)
         if index in completed:
             # A re-dispatched point finished twice (or a straggler
             # from a killed generation surfaced).  Exactly-once
@@ -451,11 +551,41 @@ class SweepService:
             # (and flushed) before anyone sees it, so a crash between
             # journal and yield re-serves it from the journal rather
             # than losing it.
-            journal.append_point(payload)
+            if obs is None:
+                journal.append_point(payload)
+            else:
+                journal_start = obs.clock()
+                journal.append_point(payload)
+                journal_end = obs.clock()
+                obs.metrics.observe("service.journal.append.time_ns",
+                                    journal_end - journal_start)
+                obs.tracer.record_span(
+                    "service.point.journal", journal_start,
+                    journal_end, tid=index + 1,
+                    parent="service.point", index=index)
         completed[index] = result
         stats.points_completed += 1
         stats.interpreter_shots += result.interpreter_shots
         stats.replay_shots += result.replay_shots
+        stats.frame_batched_shots += result.frame_batched
+        stats.point_latency.record(result.latency_s)
+        if obs is not None:
+            accepted = obs.clock()
+            dispatched = self._dispatch_ns.pop(index, None)
+            if dispatched is not None:
+                # One track (tid) per point: the dispatch-to-accept
+                # span contains the ingested worker-side execution
+                # spans and the journal span by time containment,
+                # which is exactly the nesting Perfetto renders.
+                obs.tracer.record_span(
+                    "service.point", dispatched, accepted,
+                    tid=index + 1, parent="service.sweep",
+                    index=index, worker=worker_id,
+                    engine=result.engine)
+            if worker_obs is not None:
+                obs.tracer.ingest_chrome_events(
+                    worker_obs["chrome"], pid=0, tid=index + 1)
+                obs.metrics.merge_snapshot(worker_obs["metrics"])
         if handle is not None:
             handle.mark_progress(index)
         else:

@@ -75,6 +75,14 @@ class SweepSpec:
     a process fork — they are inherited by worker processes, never
     pickled over the wire.  Parameter values must be JSON-serializable
     (they feed the journal's integrity fingerprint).
+
+    ``observe`` turns on worker-side observability: each point runs
+    with a :class:`repro.obs.Observability` attached to the worker's
+    machine, and the exported spans/metrics ride back to the service
+    on the result message (see :meth:`SweepService.observability`).
+    Off by default; it never affects the computed counts (span
+    sampling is accumulator-based, not RNG-based) and is deliberately
+    excluded from :meth:`fingerprint` so journals resume either way.
     """
 
     name: str
@@ -84,6 +92,7 @@ class SweepSpec:
     setup_factory: Callable[[], ExperimentSetup]
     program_factory: Callable[[ExperimentSetup, Mapping],
                               AssembledProgram]
+    observe: bool = False
 
     def __post_init__(self) -> None:
         if self.shots < 1:
@@ -98,15 +107,16 @@ class SweepSpec:
                     params: Sequence[Mapping] | Iterable[Mapping],
                     setup_factory: Callable[[], ExperimentSetup],
                     program_factory: Callable[[ExperimentSetup, Mapping],
-                                              AssembledProgram]
-                    ) -> "SweepSpec":
+                                              AssembledProgram],
+                    observe: bool = False) -> "SweepSpec":
         """Build a spec from per-point parameter mappings."""
         normalized = tuple(tuple(sorted(mapping.items()))
                            for mapping in params)
         return cls(name=name, shots=shots, seed=seed,
                    point_params=normalized,
                    setup_factory=setup_factory,
-                   program_factory=program_factory)
+                   program_factory=program_factory,
+                   observe=observe)
 
     @property
     def num_points(self) -> int:
@@ -160,6 +170,12 @@ class PointResult:
     interpreter_shots: int
     replay_shots: int
     latency_s: float
+    #: Shots the Pauli-frame batched engine delivered (the PR-8
+    #: counter — without it a frame-engine point would report zero
+    #: shots through every serving telemetry surface).
+    frame_batched: int = 0
+    #: Degradation-ladder steps the point's run took, in order.
+    degradations: tuple[str, ...] = ()
     worker: int | None = None
     resumed: bool = False
 
@@ -176,6 +192,8 @@ class PointResult:
             "plant_backend": self.plant_backend,
             "interpreter_shots": self.interpreter_shots,
             "replay_shots": self.replay_shots,
+            "frame_batched": self.frame_batched,
+            "degradations": list(self.degradations),
             "latency_s": self.latency_s,
         }
 
@@ -195,6 +213,8 @@ class PointResult:
             plant_backend=payload.get("plant_backend"),
             interpreter_shots=int(payload.get("interpreter_shots", 0)),
             replay_shots=int(payload.get("replay_shots", 0)),
+            frame_batched=int(payload.get("frame_batched", 0)),
+            degradations=tuple(payload.get("degradations", ())),
             latency_s=float(payload.get("latency_s", 0.0)),
             worker=worker,
             resumed=resumed,
@@ -240,5 +260,7 @@ def execution_payload(spec: SweepSpec, point: SweepPoint,
         "plant_backend": stats.plant_backend,
         "interpreter_shots": stats.interpreter_shots,
         "replay_shots": stats.replay_shots,
+        "frame_batched": stats.frame_batched,
+        "degradations": list(stats.degradations),
         "latency_s": latency_s,
     }

@@ -66,6 +66,15 @@ def worker_main(worker_id: int, generation: int, spec: SweepSpec,
                           "generation": generation,
                           "error": repr(error)})
         return
+    observability = None
+    if spec.observe:
+        # Worker-side telemetry: one Observability for the worker's
+        # lifetime; after each point the fresh spans/metrics are
+        # exported onto the result message and the local state cleared,
+        # so every "point" message carries exactly its own telemetry.
+        from repro.obs import Observability
+        observability = Observability()
+        setup.machine.observability = observability
     while True:
         shard = task_queue.get()
         if shard is None:
@@ -102,8 +111,16 @@ def worker_main(worker_id: int, generation: int, spec: SweepSpec,
                 # The result message is lost in transit; the worker
                 # itself stays healthy and keeps serving the shard.
                 continue
+            payload = execution_payload(spec, point, counts, stats,
+                                        latency_s)
+            if observability is not None:
+                payload["obs"] = {
+                    "chrome": observability.tracer.chrome_trace_events(),
+                    "metrics": observability.metrics.snapshot(),
+                }
+                observability.tracer.clear()
+                observability.metrics.clear()
             result_queue.put({
                 "kind": "point", "worker": worker_id,
                 "generation": generation, "index": index,
-                "payload": execution_payload(spec, point, counts,
-                                             stats, latency_s)})
+                "payload": payload})

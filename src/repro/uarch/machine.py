@@ -168,7 +168,8 @@ class QuMAv2:
     def __init__(self, isa: EQASMInstantiation, plant: QuantumPlant,
                  config: UarchConfig | None = None,
                  plant_backend: str = "auto",
-                 audit_fraction: float = 0.0):
+                 audit_fraction: float = 0.0,
+                 observability=None):
         if not 0.0 <= audit_fraction <= 1.0:
             raise ConfigurationError(
                 f"audit_fraction must lie in [0, 1], "
@@ -231,7 +232,24 @@ class QuMAv2:
         #: Armed :class:`~repro.uarch.faults.FaultPlan` (None in
         #: production) — see :meth:`arm_faults`.
         self.fault_plan: FaultPlan | None = None
+        # Fault records already mirrored as trace events this run.
+        self._fault_record_base = 0
+        #: Observability handle (:class:`repro.obs.Observability`, None
+        #: = disabled).  Assigned through the property so the plant's
+        #: backend-kernel timing lands in the same registry; every hook
+        #: below is a single ``is not None`` branch when disabled.
+        self.observability = observability
         self._reset_shot_state()
+
+    @property
+    def observability(self):
+        """The attached :class:`repro.obs.Observability` (or None)."""
+        return self._obs
+
+    @observability.setter
+    def observability(self, obs) -> None:
+        self._obs = obs
+        self.plant.observability = obs
 
     def arm_faults(self, plan: FaultPlan | None) -> None:
         """Arm a deterministic fault-injection plan (None disarms).
@@ -263,6 +281,8 @@ class QuMAv2:
         decoded through the instantiation's decoder, so the machine
         genuinely runs the binary encoding.
         """
+        obs = self._obs
+        load_start = obs.clock() if obs is not None else 0
         if isinstance(program, AssembledProgram):
             words = program.words
         else:
@@ -275,6 +295,12 @@ class QuMAv2:
         if self._data_memory_report is not None:
             self._dataflow_cache.move_to_end(self._binary_key)
         self._plant_backend_reasons = None
+        if obs is not None:
+            obs.tracer.record_span(
+                "machine.load", load_start, obs.clock(),
+                instructions=len(self._instructions))
+            if self._data_memory_report is not None:
+                obs.metrics.inc("machine.dataflow_cache.hits")
 
     # ------------------------------------------------------------------
     # Shot state
@@ -385,7 +411,36 @@ class QuMAv2:
         :attr:`replay_fallback_reason`, :attr:`engine_stats`) is set
         when the first trace is produced, since generators run on
         demand; :attr:`engine_stats` keeps updating as shots are drawn.
+
+        With an attached :attr:`observability` handle the whole run is
+        wrapped in a ``machine.run`` span, phase spans mark backend
+        selection / dataflow / replay analysis, per-engine time lands
+        in ``engine.*.time_ns`` histograms, and the finished run's
+        :class:`EngineStats` fold into the metrics registry.
         """
+        obs = self._obs
+        if obs is None:
+            return self._run_iter_impl(shots, max_instructions,
+                                       use_replay)
+        return self._run_iter_traced(shots, max_instructions,
+                                     use_replay, obs)
+
+    def _run_iter_traced(self, shots: int, max_instructions: int,
+                         use_replay: bool, obs) -> Iterator[ShotTrace]:
+        """The traced run wrapper: one root span per run, engine stats
+        published on completion (including generator abandonment)."""
+        span = obs.begin("machine.run", shots=shots)
+        try:
+            yield from self._run_iter_impl(shots, max_instructions,
+                                           use_replay)
+        finally:
+            stats = self.engine_stats
+            obs.record_engine_run(stats)
+            obs.end(span, engine=stats.engine,
+                    plant_backend=stats.plant_backend)
+
+    def _run_iter_impl(self, shots: int, max_instructions: int,
+                       use_replay: bool) -> Iterator[ShotTrace]:
         stats = EngineStats()
         self.engine_stats = stats
         self._audit_credit = 0.0
@@ -405,7 +460,14 @@ class QuMAv2:
         # their (growth) shots against whichever backend is live, and
         # the replay blocker analysis below depends on the choice
         # (trajectory-sampled Pauli noise only exists on the tableau).
-        backend_kind, backend_reason = self._select_plant_backend()
+        obs = self._obs
+        if obs is None:
+            backend_kind, backend_reason = self._select_plant_backend()
+        else:
+            phase_start = obs.clock()
+            backend_kind, backend_reason = self._select_plant_backend()
+            obs.tracer.record_span("machine.select_backend",
+                                   phase_start, obs.clock())
         self.plant.use_backend(backend_kind)
         self.last_plant_backend = backend_kind
         self.plant_backend_reason = backend_reason
@@ -414,8 +476,16 @@ class QuMAv2:
         plan = self.fault_plan
         if plan is not None:
             plan.begin_run()
-        reasons = (["replay disabled by caller"] if not use_replay
-                   else self.replay_unsupported_reasons())
+            self._fault_record_base = len(plan.records)
+        if obs is None:
+            reasons = (["replay disabled by caller"] if not use_replay
+                       else self.replay_unsupported_reasons())
+        else:
+            phase_start = obs.clock()
+            reasons = (["replay disabled by caller"] if not use_replay
+                       else self.replay_unsupported_reasons())
+            obs.tracer.record_span("machine.replay_analysis",
+                                   phase_start, obs.clock())
         if reasons:
             # Stochastic Pauli gate noise blocks the outcome-keyed
             # replay tree, but on a feedback-free Clifford program the
@@ -435,13 +505,22 @@ class QuMAv2:
             self.replay_fallback_reason = reason
             stats.engine = "interpreter"
             stats.fallback_reason = reason
+            shot_time = (None if obs is None else obs.metrics.histogram(
+                "engine.interpreter.shot.time_ns"))
+            clock = None if obs is None else obs.tracer.clock
             try:
                 for shot_index in range(shots):
                     if plan is not None:
                         plan.begin_shot(shot_index)
                     stats.shots_total += 1
                     stats.interpreter_shots += 1
-                    yield self.run_shot(max_instructions)
+                    if shot_time is None:
+                        yield self.run_shot(max_instructions)
+                    else:
+                        shot_start = clock()
+                        trace = self.run_shot(max_instructions)
+                        shot_time.record(clock() - shot_start)
+                        yield trace
             finally:
                 self._sync_faults(stats, plan)
             return
@@ -461,6 +540,23 @@ class QuMAv2:
         measurement_unit = self.measurement_unit
         mock_clamp = self._mock_fingerprint_clamp(tree.max_depth)
         degraded_reason = None
+        walk_total_ns = 0
+        walk_timed = 0
+        walk_stride = 0
+        if obs is not None:
+            # Hoisted out of the shot loop: the histogram objects and
+            # the raw nanosecond clock.  Tree-walk time is measured on
+            # every 16th shot and published once as a pair of counters
+            # (total ns + shots timed) — a cached shot is so cheap
+            # (~10 us) that even two clock reads per shot would blow
+            # the <=5% overhead budget, let alone a histogram record.
+            # The expensive shot kinds (interpreter, growth, audit)
+            # keep full per-shot distributions.
+            audit_time = obs.metrics.histogram(
+                "engine.replay.audit.time_ns")
+            growth_time = obs.metrics.histogram(
+                "engine.replay.growth_shot.time_ns")
+            clock = obs.tracer.clock
         try:
             for shot_index in range(shots):
                 if plan is not None:
@@ -477,13 +573,30 @@ class QuMAv2:
                     if detail is not None:
                         plan.fire("tree_bitflip", detail=detail)
                 mock_view = measurement_unit.mock_view(mock_clamp)
-                trace, outcome_prefix = tree.sample_shot(mock_view)
+                if obs is None:
+                    trace, outcome_prefix = tree.sample_shot(mock_view)
+                elif walk_stride & 0xF:
+                    walk_stride += 1
+                    trace, outcome_prefix = tree.sample_shot(mock_view)
+                else:
+                    walk_stride += 1
+                    walk_start = clock()
+                    trace, outcome_prefix = tree.sample_shot(mock_view)
+                    walk_total_ns += clock() - walk_start
+                    walk_timed += 1
                 if trace is not None:
                     stats.segment_cache_hits += 1
                     if self._audit_due():
-                        shadow, mismatched, detail = \
-                            self._audit_replay_shot(trace,
-                                                    max_instructions)
+                        if obs is None:
+                            shadow, mismatched, detail = \
+                                self._audit_replay_shot(trace,
+                                                        max_instructions)
+                        else:
+                            audit_start = clock()
+                            shadow, mismatched, detail = \
+                                self._audit_replay_shot(trace,
+                                                        max_instructions)
+                            audit_time.record(clock() - audit_start)
                         stats.replay_audits += 1
                         if mismatched:
                             if not detail:
@@ -501,6 +614,10 @@ class QuMAv2:
                             stats.degradations.append(
                                 f"replay -> interpreter: "
                                 f"{degraded_reason}")
+                            if obs is not None:
+                                obs.event("machine.degradation",
+                                          engine="replay",
+                                          detail=degraded_reason)
                             self._evict_tree(tree)
                             stats.interpreter_shots += 1
                             if shadow is None:
@@ -524,14 +641,29 @@ class QuMAv2:
                     continue
                 stats.segment_cache_misses += 1
                 stats.interpreter_shots += 1
-                yield self._grow_tree_shot(tree, mock_view.fingerprint,
-                                           outcome_prefix,
-                                           max_instructions)
+                if obs is None:
+                    grown = self._grow_tree_shot(tree,
+                                                 mock_view.fingerprint,
+                                                 outcome_prefix,
+                                                 max_instructions)
+                else:
+                    growth_start = clock()
+                    grown = self._grow_tree_shot(tree,
+                                                 mock_view.fingerprint,
+                                                 outcome_prefix,
+                                                 max_instructions)
+                    growth_time.record(clock() - growth_start)
+                yield grown
                 stats.tree_nodes = tree.node_count
                 stats.tree_paths = tree.path_count
                 stats.tree_roots = tree.root_count
                 stats.growth_stopped_reason = tree.growth_stopped_reason
         finally:
+            if walk_timed:
+                obs.metrics.inc("engine.replay.walk.time_ns",
+                                walk_total_ns)
+                obs.metrics.inc("engine.replay.walk.timed_shots",
+                                walk_timed)
             self._sync_faults(stats, plan)
             if plan is not None and plan.fired_this_run:
                 # A fault that fired during this run may have stopped
@@ -617,13 +749,24 @@ class QuMAv2:
         for key in [key for key, value in self._tree_cache.items()
                     if value is tree]:
             del self._tree_cache[key]
+            if self._obs is not None:
+                self._obs.metrics.inc(
+                    "engine.replay.tree_cache.evictions")
 
-    @staticmethod
-    def _sync_faults(stats: EngineStats, plan: FaultPlan | None) -> None:
-        """Mirror the plan's fired-fault records into the run stats."""
-        if plan is not None:
-            stats.faults_injected = [record.describe()
-                                     for record in plan.records]
+    def _sync_faults(self, stats: EngineStats,
+                     plan: FaultPlan | None) -> None:
+        """Mirror the plan's fired-fault records into the run stats
+        (and, when tracing, emit each new record as a trace event)."""
+        if plan is None:
+            return
+        stats.faults_injected = [record.describe()
+                                 for record in plan.records]
+        obs = self._obs
+        if obs is not None:
+            for record in plan.records[self._fault_record_base:]:
+                obs.event("machine.fault_injected",
+                          detail=record.describe())
+            self._fault_record_base = len(plan.records)
 
     def data_memory_report(self) -> DataMemoryReport:
         """The dataflow pass's verdict on the loaded binary's ``LD``/
@@ -638,6 +781,8 @@ class QuMAv2:
         few — never recompute the exploded graph for a binary this
         machine has already analysed."""
         if self._data_memory_report is None:
+            obs = self._obs
+            dataflow_start = obs.clock() if obs is not None else 0
             slots = [self._measurement_slot_count(instruction)
                      for instruction in self._instructions]
             self._data_memory_report = analyze_data_memory(
@@ -646,6 +791,10 @@ class QuMAv2:
                 self._data_memory_report
             while len(self._dataflow_cache) > _DATAFLOW_CACHE_CAPACITY:
                 self._dataflow_cache.popitem(last=False)
+            if obs is not None:
+                obs.tracer.record_span("machine.dataflow",
+                                       dataflow_start, obs.clock())
+                obs.metrics.inc("machine.dataflow_cache.misses")
         return self._data_memory_report
 
     def _measurement_slot_count(self, instruction: Instruction) -> int:
@@ -778,13 +927,20 @@ class QuMAv2:
         key = (self._binary_key, self.plant.noise, self.config,
                self.plant.backend_kind)
         tree = self._tree_cache.get(key)
+        obs = self._obs
         if tree is not None:
             self._tree_cache.move_to_end(key)
+            if obs is not None:
+                obs.metrics.inc("engine.replay.tree_cache.hits")
             return tree, True
+        if obs is not None:
+            obs.metrics.inc("engine.replay.tree_cache.misses")
         tree = TimelineTree(self.plant)
         self._tree_cache[key] = tree
         while len(self._tree_cache) > _TREE_CACHE_CAPACITY:
             self._tree_cache.popitem(last=False)
+            if obs is not None:
+                obs.metrics.inc("engine.replay.tree_cache.evictions")
         return tree, False
 
     def clear_replay_cache(self) -> None:
@@ -972,6 +1128,7 @@ class QuMAv2:
         stats.fallback_reason = None
         self.last_run_engine = "frame"
         self.replay_fallback_reason = None
+        obs = self._obs
         backend = self.plant.backend
         recorder = FrameRecorder()
         if plan is not None:
@@ -979,6 +1136,7 @@ class QuMAv2:
         degraded_reason = None
         template = None
         backend.frame_recorder = recorder
+        reference_start = obs.clock() if obs is not None else 0
         try:
             template = self.run_shot(max_instructions)
             backend.frame_recorder = None
@@ -991,6 +1149,9 @@ class QuMAv2:
                                f"({type(error).__name__}: {error})")
         finally:
             backend.frame_recorder = None
+            if obs is not None:
+                obs.tracer.record_span("engine.frame.reference_shot",
+                                       reference_start, obs.clock())
         if degraded_reason is None and \
                 recorder.measure_count != len(template.results):
             # Forced/mocked results would bypass the backend recorder;
@@ -1003,6 +1164,9 @@ class QuMAv2:
         if degraded_reason is not None:
             stats.degradations.append(
                 f"frame -> interpreter: {degraded_reason}")
+            if obs is not None:
+                obs.event("machine.degradation", engine="frame",
+                          detail=degraded_reason)
             stats.engine = "interpreter"
             stats.fallback_reason = degraded_reason
             self.last_run_engine = "interpreter"
@@ -1024,9 +1188,21 @@ class QuMAv2:
         try:
             while shot_index < shots:
                 chunk = min(shots - shot_index, _FRAME_CHUNK_SHOTS)
-                raw, reported = propagate_frames(
-                    recorder.steps, num_qubits, chunk, self.plant.rng,
-                    readout)
+                if obs is None:
+                    raw, reported = propagate_frames(
+                        recorder.steps, num_qubits, chunk,
+                        self.plant.rng, readout)
+                else:
+                    batch_start = obs.clock()
+                    raw, reported = propagate_frames(
+                        recorder.steps, num_qubits, chunk,
+                        self.plant.rng, readout)
+                    batch_end = obs.clock()
+                    obs.tracer.record_span("engine.frame.batch",
+                                           batch_start, batch_end,
+                                           shots=chunk)
+                    obs.metrics.observe("engine.frame.batch.time_ns",
+                                        batch_end - batch_start)
                 raw_rows = raw.tolist()
                 reported_rows = reported.tolist()
                 for row in range(chunk):

@@ -256,6 +256,58 @@ class EngineStats:
         copy.faults_injected = list(self.faults_injected)
         return copy
 
+    #: How the counters publish into a metrics registry: dataclass
+    #: field -> hierarchical metric name (the ``engine.*`` namespace of
+    #: :mod:`repro.obs`).  Only numeric counters appear here; labels
+    #: (engine, backend, reasons) publish as selection counters and
+    #: degradations/faults as list-length counters.
+    _METRIC_NAMES = {
+        "shots_total": "engine.shots_total",
+        "interpreter_shots": "engine.interpreter.shots",
+        "replay_shots": "engine.replay.cached_shots",
+        "frame_batched": "engine.frame.batched_shots",
+        "frame_reference_shots": "engine.frame.reference_shots",
+        "segment_cache_hits": "engine.replay.segment_cache.hits",
+        "segment_cache_misses": "engine.replay.segment_cache.misses",
+        "mock_results_replayed": "engine.replay.mock_results_replayed",
+        "dead_stores": "engine.dataflow.dead_stores",
+        "killed_loads": "engine.dataflow.killed_loads",
+        "bounded_loops": "engine.dataflow.bounded_loops",
+        "replay_audits": "engine.replay.audits",
+        "audit_divergences": "engine.replay.audit_divergences",
+    }
+
+    #: Tree shape publishes as gauges (point-in-time sizes, not
+    #: monotonic counts).
+    _GAUGE_NAMES = {
+        "tree_nodes": "engine.replay.tree.nodes",
+        "tree_paths": "engine.replay.tree.paths",
+        "tree_roots": "engine.replay.tree.roots",
+    }
+
+    def publish_metrics(self, registry) -> None:
+        """Fold this run's counters into a
+        :class:`repro.obs.MetricsRegistry` — the registry-backed view
+        of the same numbers (the dataclass fields stay the primary,
+        allocation-free record)."""
+        for field_name, metric_name in self._METRIC_NAMES.items():
+            value = getattr(self, field_name)
+            if value:
+                registry.inc(metric_name, value)
+        for field_name, metric_name in self._GAUGE_NAMES.items():
+            registry.set_gauge(metric_name, getattr(self, field_name))
+        if self.engine is not None:
+            registry.inc(f"engine.selected.{self.engine}")
+        if self.plant_backend is not None:
+            registry.inc(f"engine.plant_backend.{self.plant_backend}")
+        if self.tree_reused:
+            registry.inc("engine.replay.tree.reused_runs")
+        if self.degradations:
+            registry.inc("engine.degradations", len(self.degradations))
+        if self.faults_injected:
+            registry.inc("engine.faults_injected",
+                         len(self.faults_injected))
+
 
 @dataclass(frozen=True, slots=True)
 class MeasurementSample:

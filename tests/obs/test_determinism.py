@@ -1,0 +1,83 @@
+"""The deterministic-snapshot guarantee of :mod:`repro.obs`.
+
+Two identical seeded runs must produce *byte-identical* metric
+snapshots once wall-clock-valued entries (leaf names ending ``_ns`` /
+``_s``) are stripped — the contract that makes exported telemetry
+diffable across machines and CI runs.
+"""
+
+import json
+
+import numpy as np
+
+from repro.core import Assembler, two_qubit_instantiation
+from repro.obs import Observability
+from repro.quantum import NoiseModel, QuantumPlant
+from repro.uarch import QuMAv2
+
+ACTIVE_RESET = """
+SMIS S2, {2}
+QWAIT 10000
+X90 S2
+MEASZ S2
+QWAIT 50
+C_X S2
+MEASZ S2
+STOP
+"""
+
+
+def traced_run(seed=11, shots=50, sample_fraction=1.0):
+    obs = Observability(sample_fraction=sample_fraction)
+    isa = two_qubit_instantiation()
+    plant = QuantumPlant(isa.topology, noise=NoiseModel(),
+                         rng=np.random.default_rng(seed))
+    machine = QuMAv2(isa, plant, observability=obs)
+    machine.load(Assembler(isa).assemble_text(ACTIVE_RESET))
+    traces = machine.run(shots)
+    return obs, traces
+
+
+def canonical(obs):
+    return json.dumps(obs.snapshot(exclude_timing=True),
+                      sort_keys=True)
+
+
+class TestSnapshotDeterminism:
+    def test_identical_seeded_runs_snapshot_identically(self):
+        first = canonical(traced_run()[0])
+        second = canonical(traced_run()[0])
+        assert first == second
+
+    def test_filtered_snapshot_still_carries_the_engine_story(self):
+        obs, _ = traced_run()
+        filtered = obs.snapshot(exclude_timing=True)
+        assert filtered["engine.shots_total"]["value"] == 50
+        assert "engine.replay.cached_shots" in filtered
+        # ... while every wall-clock entry is gone.
+        assert not any(name.endswith(("_ns", "_s")) for name in filtered)
+
+    def test_unfiltered_snapshots_differ_only_in_timing(self):
+        """The complement check: the raw snapshots of two identical
+        runs agree on exactly the non-timing keys."""
+        a = traced_run()[0].snapshot()
+        b = traced_run()[0].snapshot()
+        assert set(a) == set(b)
+        for name in a:
+            if not name.rsplit(".", 1)[-1].endswith(("_ns", "_s")):
+                assert a[name] == b[name], name
+
+    def test_sampling_changes_spans_not_shots_or_metrics(self):
+        """Sampled tracing uses a deterministic credit accumulator —
+        never an RNG draw — so physics and metrics are unchanged."""
+        full_obs, full_traces = traced_run(sample_fraction=1.0)
+        sampled_obs, sampled_traces = traced_run(sample_fraction=0.0)
+        for a, b in zip(full_traces, sampled_traces):
+            assert a.outcome_path() == b.outcome_path()
+            assert a.triggers == b.triggers
+        assert canonical(full_obs) == canonical(sampled_obs)
+        # Root spans (machine.run) were suppressed at fraction 0.0.
+        sampled_names = {s.name for s in sampled_obs.tracer.spans()}
+        assert "machine.run" not in sampled_names
+        full_names = {s.name for s in full_obs.tracer.spans()}
+        assert "machine.run" in full_names

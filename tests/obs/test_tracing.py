@@ -1,0 +1,220 @@
+"""Unit tests for the span tracer half of :mod:`repro.obs`.
+
+Pins nesting bookkeeping, the bounded ring, deterministic sampling,
+the strict Chrome ``trace_event`` schema of the export, and foreign-
+event ingestion (how worker spans land on driver tracks).
+"""
+
+import json
+
+import pytest
+
+from repro.obs import Observability, SpanTracer
+
+
+class FakeClock:
+    """Deterministic nanosecond clock advancing a fixed step per read."""
+
+    def __init__(self, step_ns=1000):
+        self.now = 0
+        self.step_ns = step_ns
+
+    def __call__(self):
+        self.now += self.step_ns
+        return self.now
+
+
+def make_tracer(**kwargs):
+    kwargs.setdefault("clock", FakeClock())
+    return SpanTracer(**kwargs)
+
+
+class TestNesting:
+    def test_parent_and_depth_recorded(self):
+        tracer = make_tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        spans = {span.name: span for span in tracer.spans()}
+        assert spans["outer"].parent is None
+        assert spans["outer"].depth == 0
+        assert spans["inner"].parent == "outer"
+        assert spans["inner"].depth == 1
+        # Records land at *end* time: inner completes first.
+        assert [span.name for span in tracer.spans()] == ["inner",
+                                                          "outer"]
+
+    def test_end_attributes_merge_into_begin_attributes(self):
+        tracer = make_tracer()
+        span = tracer.begin("run", shots=5)
+        tracer.end(span, engine="replay")
+        [record] = tracer.spans()
+        assert record.attributes == {"shots": 5, "engine": "replay"}
+
+    def test_nesting_violation_raises(self):
+        tracer = make_tracer()
+        outer = tracer.begin("outer")
+        tracer.begin("inner")
+        with pytest.raises(RuntimeError, match="nesting violation"):
+            tracer.end(outer)
+
+    def test_record_span_is_stack_free(self):
+        tracer = make_tracer()
+        with tracer.span("covering"):
+            tracer.record_span("retro", 100, 400, tid=7,
+                               parent="covering", index=3)
+        retro = tracer.spans()[0]
+        assert retro.name == "retro"
+        assert retro.start_ns == 100 and retro.duration_ns == 300
+        assert retro.tid == 7 and retro.parent == "covering"
+        assert retro.attributes == {"index": 3}
+        # Clamped, never negative, even with misordered endpoints.
+        tracer.record_span("clamped", 500, 400)
+        assert tracer.spans()[-1].duration_ns == 0
+
+
+class TestRingBuffer:
+    def test_oldest_records_evicted_and_counted(self):
+        tracer = make_tracer(capacity=4)
+        for index in range(6):
+            with tracer.span(f"s{index}"):
+                pass
+        assert tracer.dropped == 2
+        assert [span.name for span in tracer.spans()] == [
+            "s2", "s3", "s4", "s5"]
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            SpanTracer(capacity=0)
+
+    def test_clear_resets_everything(self):
+        tracer = make_tracer(capacity=1)
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        tracer.ingest_chrome_events([{"name": "x"}], pid=1)
+        tracer.clear()
+        assert not tracer.spans() and not tracer.events()
+        assert tracer.dropped == 0
+        assert tracer.chrome_trace_events() == []
+
+
+class TestSampling:
+    def test_credit_accumulator_records_every_other_root(self):
+        tracer = make_tracer(sample_fraction=0.5)
+        for index in range(6):
+            with tracer.span(f"root{index}"):
+                with tracer.span("child"):
+                    pass
+        roots = [s.name for s in tracer.spans() if s.depth == 0]
+        # Deterministic: credit reaches 1.0 on roots 1, 3, 5.
+        assert roots == ["root1", "root3", "root5"]
+        # A sampled root carries its subtree; an unsampled one
+        # suppresses it.
+        assert sum(s.name == "child" for s in tracer.spans()) == 3
+
+    def test_events_never_sampled_away(self):
+        tracer = make_tracer(sample_fraction=0.0)
+        with tracer.span("invisible"):
+            tracer.event("fault", site="backend_gate")
+        assert tracer.spans() == []
+        [event] = tracer.events()
+        assert event.name == "fault"
+        assert event.attributes == {"site": "backend_gate"}
+
+    def test_fraction_validated(self):
+        with pytest.raises(ValueError):
+            SpanTracer(sample_fraction=1.5)
+
+
+class TestChromeExport:
+    """The exported events must satisfy the ``trace_event`` schema
+    strictly — chrome://tracing and Perfetto both load the file."""
+
+    SPAN_KEYS = {"name", "cat", "ph", "ts", "dur", "pid", "tid", "args"}
+    INSTANT_KEYS = {"name", "cat", "ph", "ts", "s", "pid", "tid", "args"}
+
+    def make_traced(self):
+        tracer = make_tracer()
+        with tracer.span("outer", shots=3):
+            with tracer.span("inner"):
+                pass
+            tracer.event("degradation", rung="dense")
+        return tracer
+
+    def test_event_schema(self):
+        for event in self.make_traced().chrome_trace_events(pid=42):
+            assert event["ph"] in {"X", "i"}
+            if event["ph"] == "X":
+                assert set(event) == self.SPAN_KEYS
+                assert event["dur"] >= 0
+            else:
+                assert set(event) == self.INSTANT_KEYS
+                assert event["s"] == "t"
+            assert event["cat"] == "repro"
+            assert event["pid"] == 42
+            assert isinstance(event["ts"], float)
+            assert isinstance(event["args"], dict)
+
+    def test_trace_file_is_one_json_array(self, tmp_path):
+        path = tmp_path / "trace.json"
+        self.make_traced().write_chrome_trace(path, pid=7)
+        events = json.loads(path.read_text())
+        assert isinstance(events, list) and len(events) == 3
+        assert {event["name"] for event in events} == {
+            "outer", "inner", "degradation"}
+
+    def test_event_log_is_jsonl(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        self.make_traced().write_event_log(path, pid=7)
+        records = [json.loads(line) for line in
+                   path.read_text().splitlines()]
+        # Completion order: inner span, the instant event, outer span.
+        assert [r["kind"] for r in records] == ["span", "event", "span"]
+        assert all(r["pid"] == 7 for r in records)
+        span = records[2]
+        assert span["name"] == "outer"
+        assert span["duration_ns"] > 0
+
+    def test_non_json_attributes_degrade_to_repr(self):
+        tracer = make_tracer()
+        tracer.event("odd", payload={1: {2, 3}})
+        [event] = tracer.chrome_trace_events()
+        json.dumps(event)  # still exportable
+        assert event["args"]["payload"]["1"] == repr({2, 3})
+
+    def test_ingested_events_are_retagged(self):
+        tracer = make_tracer()
+        foreign = [{"name": "machine.run", "cat": "repro", "ph": "X",
+                    "ts": 1.0, "dur": 2.0, "pid": 999, "tid": 0,
+                    "args": {}}]
+        tracer.ingest_chrome_events(foreign, pid=0, tid=5)
+        [event] = tracer.chrome_trace_events(pid=0)
+        assert event["pid"] == 0 and event["tid"] == 5
+        # The caller's list is not mutated.
+        assert foreign[0]["pid"] == 999 and foreign[0]["tid"] == 0
+
+
+class TestObservabilityFacade:
+    def test_export_writes_three_artifacts(self, tmp_path):
+        obs = Observability(clock=FakeClock())
+        with obs.span("machine.run"):
+            pass
+        obs.metrics.inc("engine.shots_total", 4)
+        obs.metrics.observe("engine.replay.growth_shot.time_ns", 2e4)
+        paths = obs.export(tmp_path, prefix="t")
+        assert sorted(paths) == ["events", "metrics", "trace"]
+        metrics = json.loads((tmp_path / "t_metrics.json").read_text())
+        assert metrics["engine.shots_total"]["value"] == 4
+        trace = json.loads((tmp_path / "t_trace.json").read_text())
+        assert trace[0]["name"] == "machine.run"
+        assert (tmp_path / "t_events.jsonl").read_text().count("\n") == 1
+
+    def test_snapshot_exclude_timing(self):
+        obs = Observability()
+        obs.metrics.inc("engine.shots_total", 1)
+        obs.metrics.observe("backend.dense.gate.time_ns", 100.0)
+        assert "backend.dense.gate.time_ns" in obs.snapshot()
+        filtered = obs.snapshot(exclude_timing=True)
+        assert list(filtered) == ["engine.shots_total"]

@@ -14,6 +14,7 @@ PACKAGES = [
     "repro.compiler",
     "repro.workloads",
     "repro.experiments",
+    "repro.obs",
     "repro.serving",
 ]
 
